@@ -1,0 +1,87 @@
+"""Figure 3c: decode-to-issue cycle breakdown on InO / CES / CASINO / OoO.
+
+Per instruction class (Ld = loads, LdC = load-dependent, Rst = the rest),
+the average decode->dispatch, dispatch->ready and ready->issue delays.
+Paper observations reproduced here:
+
+* CES has by far the largest decode->dispatch delay (steering stalls);
+* CASINO's Rst ops see small dispatch->ready *and* ready->issue delays
+  (the S-IQ filters them), but LdC ops wait a long time;
+* OoO's ready->issue delays are near zero for everything.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.stats import CLASSES, SEGMENTS
+from repro.workloads.suite import SUITE_NAMES
+
+ARCHES = ("inorder", "ces", "casino", "ooo")
+
+
+def collect(runner):
+    """Suite-weighted average breakdown per arch and class."""
+    out = {}
+    for arch in ARCHES:
+        sums = {k: {s: 0.0 for s in SEGMENTS} for k in CLASSES}
+        counts = {k: 0 for k in CLASSES}
+        for workload in SUITE_NAMES:
+            breakdown = runner.run_arch(workload, arch).stats.breakdown
+            for klass in CLASSES:
+                counts[klass] += breakdown.counts[klass]
+                for segment in SEGMENTS:
+                    sums[klass][segment] += breakdown.sums[klass][segment]
+        out[arch] = {
+            klass: {
+                segment: sums[klass][segment] / max(1, counts[klass])
+                for segment in SEGMENTS
+            }
+            for klass in CLASSES
+        }
+    return out
+
+
+def test_fig03_breakdown(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = []
+    for arch in ARCHES:
+        for klass in CLASSES:
+            segs = data[arch][klass]
+            rows.append(
+                [arch, klass]
+                + [segs[s] for s in SEGMENTS]
+                + [sum(segs.values())]
+            )
+    print()
+    print(format_table(
+        ["arch", "class", "dec->disp", "disp->ready", "ready->issue", "total"],
+        rows,
+        title="Figure 3c: average decode-to-issue cycles by class",
+        float_fmt="{:.1f}",
+    ))
+
+    # OoO and CES issue/ready Rst instructions almost immediately after
+    # dispatch; CASINO's last in-order IQ delays them (paper SII-C)
+    assert data["ooo"]["Rst"]["dispatch_to_ready"] < 20
+    assert data["ces"]["Rst"]["dispatch_to_ready"] < 20
+    assert (
+        data["casino"]["Rst"]["dispatch_to_ready"]
+        > 3 * data["ooo"]["Rst"]["dispatch_to_ready"]
+    )
+    # dynamic scheduling issues ready instructions promptly; the in-order
+    # core's head-of-line blocking shows up as ready->issue delay
+    assert data["ooo"]["Rst"]["ready_to_issue"] < 3.0
+    assert data["ces"]["Rst"]["ready_to_issue"] < 3.0
+    assert (
+        data["inorder"]["Rst"]["ready_to_issue"]
+        > 5 * data["ooo"]["Rst"]["ready_to_issue"]
+    )
+    # load consumers spend a long time waiting for memory on every design
+    for arch in ARCHES:
+        assert data[arch]["LdC"]["dispatch_to_ready"] > 50
+    # the in-order core has the worst front-end backpressure overall
+    assert all(
+        data["inorder"]["Rst"]["decode_to_dispatch"]
+        > data[arch]["Rst"]["decode_to_dispatch"]
+        for arch in ("ces", "casino", "ooo")
+    )

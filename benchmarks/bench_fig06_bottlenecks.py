@@ -1,0 +1,100 @@
+"""Figure 6: architectural bottleneck analysis of the Step-2 design.
+
+6a — breakdown of cycles at the P-IQ heads: actually issuing, blocked on an
+M-dependence, waiting for operands, losing port arbitration, or empty.
+Paper: P-IQs issue only ~6% of head-cycles and ~9% of the stalls are
+M-dependent loads waiting for their producer stores (measured on the
+*Step-1* design, before MDA steering removes them).
+
+6b — IPC sensitivity of Step 2 to the number and size of P-IQs.
+Paper: performance is very sensitive to the P-IQ *count*, much less to
+their *size*.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.workloads.suite import SUITE_NAMES
+
+HEAD_KEYS = ("issue", "wait_mdep", "wait_operand", "port_conflict", "empty")
+COUNTS = (2, 4, 6, 8, 11)
+SIZES = (6, 12, 24)
+
+#: The sensitivity study uses the scheduling-bound kernels; purely serial
+#: or bandwidth-bound kernels dilute the signal the figure is about.
+SENSITIVE_KERNELS = (
+    "matmul_tile",
+    "hash_probe",
+    "dag_wide",
+    "mixed_int_fp",
+    "histogram",
+    "stencil3",
+    "spill_fill",
+)
+
+
+def collect_6a(runner):
+    per_arch = {}
+    for arch in ("ballerino_step1", "ballerino_step2"):
+        totals = {k: 0 for k in HEAD_KEYS}
+        for workload in SUITE_NAMES:
+            sched = runner.run_arch(workload, arch).stats.scheduler
+            for key in HEAD_KEYS:
+                totals[key] += sched[f"head_{key}"]
+        total = sum(totals.values()) or 1
+        per_arch[arch] = {k: v / total for k, v in totals.items()}
+    return per_arch
+
+
+def collect_6b(runner):
+    ipc = {}
+    for count in COUNTS:
+        ipc[("count", count)] = geomean([
+            runner.run_arch(w, "ballerino_step2", num_piqs=count).ipc
+            for w in SENSITIVE_KERNELS
+        ])
+    for size in SIZES:
+        ipc[("size", size)] = geomean([
+            runner.run_arch(w, "ballerino_step2", piq_size=size).ipc
+            for w in SENSITIVE_KERNELS
+        ])
+    return ipc
+
+
+def test_fig06a_piq_head_breakdown(runner, benchmark):
+    data = run_once(benchmark, lambda: collect_6a(runner))
+    rows = [
+        [arch] + [data[arch][k] for k in HEAD_KEYS]
+        for arch in data
+    ]
+    print()
+    print(format_table(
+        ["design"] + list(HEAD_KEYS), rows,
+        title="Figure 6a: P-IQ head-cycle breakdown (fraction of P-IQ-cycles)",
+        float_fmt="{:.3f}",
+    ))
+    step1 = data["ballerino_step1"]
+    step2 = data["ballerino_step2"]
+    # P-IQs actually issue in only a small fraction of head-cycles
+    assert step1["issue"] < 0.35
+    # M-dependence stalls exist before MDA steering and shrink with it
+    assert step1["wait_mdep"] > 0
+    assert step2["wait_mdep"] <= step1["wait_mdep"]
+
+
+def test_fig06b_piq_sensitivity(runner, benchmark):
+    data = run_once(benchmark, lambda: collect_6b(runner))
+    rows = [["P-IQ count", count, data[("count", count)]] for count in COUNTS]
+    rows += [["P-IQ size", size, data[("size", size)]] for size in SIZES]
+    print()
+    print(format_table(
+        ["sweep", "value", "geomean IPC"], rows,
+        title="Figure 6b: Step-2 IPC sensitivity to P-IQ count vs size",
+    ))
+    # sensitivity to count: clear swing from 2 -> 11 queues
+    count_gain = data[("count", 11)] / data[("count", 2)]
+    assert count_gain > 1.08
+    # sensitivity to size: small swing from 6 -> 24 entries
+    size_gain = data[("size", 24)] / data[("size", 6)]
+    assert size_gain < count_gain
+    assert data[("count", 8)] >= data[("count", 4)]

@@ -1,0 +1,46 @@
+"""Figure 13: performance impact of each proposed technique, step by step.
+
+CES -> CES+MDA -> Step 1 (S-IQ + P-IQs) -> Step 2 (+MDA steering)
+-> Step 3 (+P-IQ sharing = Ballerino) -> Step 3 without implementation
+constraints (ideal sharing).
+
+Paper: +4pp (MDA on CES), +7pp (S-IQ), +5pp (MDA), +13pp (sharing), and
+the ideal design is only ~5pp above the constrained one.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.core import FIG13_ARCHES
+from repro.workloads.suite import SUITE_NAMES
+
+
+def collect(runner):
+    speedups = {}
+    for arch in FIG13_ARCHES:
+        speedups[arch] = geomean([
+            runner.run_arch(w, "inorder").seconds
+            / runner.run_arch(w, arch).seconds
+            for w in SUITE_NAMES
+        ])
+    return speedups
+
+
+def test_fig13_step_by_step(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [[arch, data[arch]] for arch in FIG13_ARCHES]
+    print()
+    print(format_table(
+        ["design", "speedup over InO"], rows,
+        title="Figure 13: step-by-step technique impact (geomean)",
+        float_fmt="{:.3f}",
+    ))
+    # each step helps (or at worst is neutral within noise)
+    assert data["ces_mda"] >= data["ces"] * 0.99
+    assert data["ballerino_step1"] >= data["ces"] * 0.99
+    assert data["ballerino_step2"] >= data["ballerino_step1"] * 0.99
+    assert data["ballerino"] >= data["ballerino_step2"] * 0.99
+    # the full design must be a real improvement over plain CES
+    assert data["ballerino"] > data["ces"]
+    # the implementation constraints cost little vs ideal sharing
+    assert data["ballerino_ideal"] <= data["ballerino"] * 1.08

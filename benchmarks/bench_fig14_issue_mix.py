@@ -1,0 +1,45 @@
+"""Figure 14: which IQ issues the instructions, per Ballerino variant.
+
+Paper: the S-IQ speculatively issues ~41% of dynamic instructions in
+Step 1, and P-IQ sharing (Step 3) lets the P-IQ cluster issue several
+percentage points more than Step 2, feeding the S-IQ more ready work.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.workloads.suite import SUITE_NAMES
+
+STEPS = ("ballerino_step1", "ballerino_step2", "ballerino")
+
+
+def collect(runner):
+    mix = {}
+    for arch in STEPS:
+        siq = piq = 0
+        for workload in SUITE_NAMES:
+            sched = runner.run_arch(workload, arch).stats.scheduler
+            siq += sched["issued_siq"]
+            piq += sched["issued_piq"]
+        total = siq + piq
+        mix[arch] = {"siq": siq / total, "piq": piq / total, "total": total}
+    return mix
+
+
+def test_fig14_issue_mix(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [
+        [arch, data[arch]["siq"], data[arch]["piq"]]
+        for arch in STEPS
+    ]
+    print()
+    print(format_table(
+        ["design", "S-IQ fraction", "P-IQ fraction"], rows,
+        title="Figure 14: fraction of instructions issued per IQ type",
+        float_fmt="{:.3f}",
+    ))
+    for arch in STEPS:
+        # the S-IQ filters a large minority of instructions (paper: ~41%)
+        assert 0.15 < data[arch]["siq"] < 0.75
+    # sharing must not reduce the P-IQ cluster's issue share
+    assert data["ballerino"]["piq"] >= data["ballerino_step2"]["piq"] * 0.9

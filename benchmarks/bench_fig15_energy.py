@@ -1,0 +1,56 @@
+"""Figure 15: core-wide energy breakdown, normalised to OoO.
+
+Paper: CES and Ballerino land around 0.8x of the OoO core's energy;
+CASINO burns more scheduling energy than CES/Ballerino (multi-ported
+S-IQs + inter-queue copies); FXA keeps a full out-of-order IQ and stays
+closest to OoO.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import config_for
+from repro.energy import CATEGORIES, EnergyModel
+from repro.workloads.suite import SUITE_NAMES
+
+ARCHES = ("ces", "casino", "fxa", "ballerino", "ballerino12", "ooo")
+
+
+def collect(runner):
+    model = EnergyModel()
+    totals = {arch: {cat: 0.0 for cat in CATEGORIES} for arch in ARCHES}
+    for arch in ARCHES:
+        cfg = config_for(arch)
+        for workload in SUITE_NAMES:
+            report = model.evaluate(runner.run_arch(workload, arch), cfg)
+            for cat, pj in report.categories.items():
+                totals[arch][cat] += pj
+    return totals
+
+
+def test_fig15_energy_breakdown(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    ooo_total = sum(data["ooo"].values())
+    rows = []
+    for arch in ARCHES:
+        row = [arch] + [data[arch][cat] / ooo_total for cat in CATEGORIES]
+        row.append(sum(data[arch].values()) / ooo_total)
+        rows.append(row)
+    print()
+    print(format_table(
+        ["arch"] + [c.replace(" ", "") for c in CATEGORIES] + ["TOTAL"],
+        rows,
+        title="Figure 15: core energy (suite total) normalised to OoO",
+        float_fmt="{:.3f}",
+    ))
+    total = {arch: sum(data[arch].values()) / ooo_total for arch in ARCHES}
+    # every in-order-IQ design undercuts the OoO core's energy
+    for arch in ("ces", "ballerino", "ballerino12"):
+        assert total[arch] < 1.0
+    # Ballerino's scheduling energy is a fraction of OoO's
+    assert data["ballerino"]["Schedule"] < 0.6 * data["ooo"]["Schedule"]
+    # CASINO's scheduling energy exceeds CES's (copies + read ports)
+    assert data["casino"]["Schedule"] > data["ces"]["Schedule"]
+    # FXA's out-of-order back end keeps it the closest to OoO among
+    # the energy-oriented designs
+    assert data["fxa"]["Schedule"] > data["ballerino"]["Schedule"]

@@ -1,0 +1,48 @@
+"""Figure 16: energy efficiency (performance per energy = 1/EDP) vs OoO.
+
+Paper: Ballerino ~1.22x OoO, Ballerino-12 ~1.20x, FXA ~1.17x,
+CES ~1.12x, CASINO ~0.8x (it is simply too slow at 8-wide).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.core import config_for
+from repro.energy import EnergyModel
+from repro.workloads.suite import SUITE_NAMES
+
+ARCHES = ("ces", "casino", "fxa", "ballerino", "ballerino12", "ooo")
+
+
+def collect(runner):
+    model = EnergyModel()
+    efficiency = {}
+    for arch in ARCHES:
+        cfg = config_for(arch)
+        ratios = []
+        for workload in SUITE_NAMES:
+            mine = model.evaluate(runner.run_arch(workload, arch), cfg)
+            base = model.evaluate(
+                runner.run_arch(workload, "ooo"), config_for("ooo")
+            )
+            ratios.append(mine.efficiency / base.efficiency)
+        efficiency[arch] = geomean(ratios)
+    return efficiency
+
+
+def test_fig16_efficiency(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [[arch, data[arch]] for arch in ARCHES]
+    print()
+    print(format_table(
+        ["arch", "1/EDP vs OoO (geomean)"], rows,
+        title="Figure 16: energy efficiency normalised to OoO",
+        float_fmt="{:.3f}",
+    ))
+    # headline: Ballerino variants beat OoO on efficiency
+    assert data["ballerino"] > 1.0
+    assert data["ballerino12"] > 1.0
+    # and beat CES (faster at similar energy) and CASINO (far faster)
+    assert data["ballerino"] > data["casino"]
+    assert data["ballerino12"] >= data["ces"] * 0.98
+    assert data["ooo"] == 1.0

@@ -1,0 +1,67 @@
+"""Figure 17a: issue-width scaling (2/4/8/10-wide) over the 2-wide InO core.
+
+Paper: CASINO shines at 2-wide but scales poorly; CES and Ballerino scale
+well (they track many chains); Ballerino beats CES at every width; beyond
+8-wide, InO and CASINO gain almost nothing while the others gain ~5%.
+
+Speedups are measured in execution *time* (frequency differs per width,
+Table I).  A reduced kernel set keeps the 24-config sweep tractable.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+
+ARCHES = ("inorder", "casino", "ces", "ballerino", "ooo")
+WIDTHS = (2, 4, 8, 10)
+KERNELS = (
+    "matmul_tile",
+    "hash_probe",
+    "dag_wide",
+    "mixed_int_fp",
+    "histogram",
+    "stencil3",
+)
+
+
+def collect(runner):
+    speedups = {}
+    for width in WIDTHS:
+        for arch in ARCHES:
+            speedups[(arch, width)] = geomean([
+                runner.run_arch(w, "inorder", width=2).seconds
+                / runner.run_arch(w, arch, width=width).seconds
+                for w in KERNELS
+            ])
+    return speedups
+
+
+def test_fig17a_width_scaling(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [
+        [arch] + [data[(arch, width)] for width in WIDTHS]
+        for arch in ARCHES
+    ]
+    print()
+    print(format_table(
+        ["arch"] + [f"{w}-wide" for w in WIDTHS], rows,
+        title="Figure 17a: speedup over 2-wide InO vs issue width",
+        float_fmt="{:.2f}",
+    ))
+    # everything scales up with width...
+    for arch in ARCHES:
+        assert data[(arch, 8)] > data[(arch, 2)]
+    # ...but InO gains little beyond 8-wide
+    assert data[("inorder", 10)] < data[("inorder", 8)] * 1.06
+    # Ballerino at least matches CES at every width
+    for width in WIDTHS:
+        assert data[("ballerino", width)] >= data[("ces", width)] * 0.97
+    # beyond 8-wide, InO and CASINO gain almost nothing while the
+    # dependence-tracking designs keep scaling (paper: 5-6%)
+    casino_gain_10 = data[("casino", 10)] / data[("casino", 8)]
+    for arch in ("ces", "ballerino", "ooo"):
+        assert data[(arch, 10)] / data[(arch, 8)] > casino_gain_10
+    # CASINO stays the weakest dynamic scheduler at every width >= 4
+    for width in (4, 8, 10):
+        assert data[("casino", width)] < data[("ces", width)]
+        assert data[("casino", width)] < data[("ballerino", width)]

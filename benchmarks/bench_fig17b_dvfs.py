@@ -1,0 +1,81 @@
+"""Figure 17b: frequency/voltage scaling of Ballerino and OoO vs CES.
+
+The paper's four levels L4..L1 = [3.4 GHz, 1.04 V] .. [2.8 GHz, 0.96 V].
+Reproduced shape: at a matched power budget or matched performance,
+Ballerino can run one level down and still beat CES/OoO on efficiency.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.core import config_for
+from repro.energy import DVFS_LEVELS, EnergyModel, evaluate_level
+from repro.workloads.suite import SUITE_NAMES
+
+ARCHES = ("ces", "ballerino", "ooo")
+LEVELS = ("L4", "L3", "L2", "L1")
+
+
+def collect(runner):
+    """Per (arch, level): suite-total seconds, energy, power, 1/EDP."""
+    model = EnergyModel()
+    out = {}
+    for arch in ARCHES:
+        cfg = config_for(arch)
+        for level in LEVELS:
+            seconds = energy = 0.0
+            for workload in SUITE_NAMES:
+                point = evaluate_level(
+                    runner.run_arch(workload, arch), cfg, level, model
+                )
+                seconds += point.seconds
+                energy += point.energy_joules
+            out[(arch, level)] = {
+                "seconds": seconds,
+                "energy": energy,
+                "power": energy / seconds,
+                "efficiency": 1.0 / (energy * seconds),
+            }
+    return out
+
+
+def test_fig17b_dvfs(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    ces_l4 = data[("ces", "L4")]
+    rows = []
+    for arch in ARCHES:
+        for level in LEVELS:
+            d = data[(arch, level)]
+            rows.append([
+                arch, level,
+                ces_l4["seconds"] / d["seconds"],   # speedup vs CES@L4
+                d["power"] / ces_l4["power"],
+                d["energy"] / ces_l4["energy"],
+                d["efficiency"] / ces_l4["efficiency"],
+            ])
+    print()
+    print(format_table(
+        ["arch", "level", "speedup", "power", "energy", "1/EDP"],
+        rows,
+        title="Figure 17b: DVFS levels, all normalised to CES @ L4",
+        float_fmt="{:.3f}",
+    ))
+    # lower levels are slower and lower-power for every design
+    for arch in ARCHES:
+        assert data[(arch, "L1")]["seconds"] > data[(arch, "L4")]["seconds"]
+        assert data[(arch, "L1")]["power"] < data[(arch, "L4")]["power"]
+    # Ballerino matches-or-beats CES at the same level on both axes
+    assert data[("ballerino", "L4")]["seconds"] <= ces_l4["seconds"] * 1.01
+    assert (
+        data[("ballerino", "L4")]["efficiency"]
+        >= ces_l4["efficiency"] * 0.99
+    )
+    # OoO pays a power premium at every level for near-identical speed...
+    assert data[("ooo", "L4")]["power"] > ces_l4["power"] * 1.05
+    # ...so Ballerino at full speed is still more efficient than OoO even
+    # when OoO drops levels to save power (paper: +27% vs OoO@L3)
+    for level in LEVELS:
+        assert (
+            data[("ballerino", "L4")]["efficiency"]
+            > data[("ooo", level)]["efficiency"]
+        )

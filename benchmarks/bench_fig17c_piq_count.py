@@ -1,0 +1,46 @@
+"""Figure 17c: Ballerino performance vs number of P-IQs, against OoO.
+
+Paper: performance climbs steadily up to eleven P-IQs (Ballerino-12 lands
+within ~2% of OoO) and flattens beyond.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.workloads.suite import SUITE_NAMES
+
+COUNTS = (3, 5, 7, 9, 11, 13, 15)
+
+
+def collect(runner):
+    speedups = {}
+    ooo = {
+        w: runner.run_arch(w, "ooo").seconds for w in SUITE_NAMES
+    }
+    for count in COUNTS:
+        speedups[count] = geomean([
+            ooo[w] / runner.run_arch(w, "ballerino", num_piqs=count).seconds
+            for w in SUITE_NAMES
+        ])
+    return speedups
+
+
+def test_fig17c_piq_count(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [[count, data[count]] for count in COUNTS]
+    print()
+    print(format_table(
+        ["P-IQs", "performance vs OoO"], rows,
+        title="Figure 17c: Ballerino performance vs P-IQ count "
+              "(1.0 = the 8-wide OoO core)",
+        float_fmt="{:.3f}",
+    ))
+    # performance rises with P-IQ count...
+    assert data[11] > data[3]
+    # ...approaches OoO by eleven queues (paper: within ~2%)...
+    assert data[11] > 0.93
+    # ...and saturates: adding queues past eleven buys little
+    assert data[15] < data[11] * 1.03
+    # monotone (within small noise) across the sweep
+    for a, b in zip(COUNTS, COUNTS[1:]):
+        assert data[b] >= data[a] * 0.99

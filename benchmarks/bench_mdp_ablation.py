@@ -1,0 +1,67 @@
+"""Section III-B claim: MDP removes ~96% of memory-order violations and
+buys a large speedup on the baseline out-of-order core.
+
+Measured on the aliasing-heavy kernels, where speculative loads actually
+collide with in-flight stores.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.analysis import format_table, geomean
+from repro.core import config_for
+from repro.core.pipeline import simulate
+from repro.workloads.suite import get_trace
+
+KERNELS = ("histogram", "spill_fill")
+
+
+def collect(runner):
+    out = {}
+    for workload in KERNELS:
+        with_mdp = runner.run_arch(workload, "ooo")
+        trace = get_trace(workload, runner.target_ops, runner.seed)
+        no_mdp_cfg = dataclasses.replace(
+            config_for("ooo"), mdp_enabled=False, name="ooo-8w-nomdp"
+        )
+        without = runner.run(workload, no_mdp_cfg)
+        out[workload] = {
+            "violations_mdp": with_mdp.stats.order_violations,
+            "violations_none": without.stats.order_violations,
+            "speedup": without.seconds / with_mdp.seconds,
+        }
+    return out
+
+
+def test_mdp_ablation(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [
+        [
+            w,
+            data[w]["violations_none"],
+            data[w]["violations_mdp"],
+            1 - data[w]["violations_mdp"] / max(1, data[w]["violations_none"]),
+            data[w]["speedup"],
+        ]
+        for w in KERNELS
+    ]
+    print()
+    print(format_table(
+        ["workload", "violations w/o MDP", "with MDP", "reduction",
+         "speedup from MDP"],
+        rows,
+        title="SIII-B: store-set MDP ablation on the OoO baseline",
+        float_fmt="{:.2f}",
+    ))
+    for w in KERNELS:
+        assert data[w]["violations_none"] > 0
+        reduction = 1 - (
+            data[w]["violations_mdp"] / data[w]["violations_none"]
+        )
+        # paper: ~96% reduction; require the bulk of violations removed
+        assert reduction > 0.6
+    # paper: 1.5x average speedup.  Individual kernels can regress (a
+    # single static store pc makes the whole kernel one store set, so MDP
+    # over-serialises histogram), but the aggregate win must be large.
+    assert geomean([data[w]["speedup"] for w in KERNELS]) > 1.2

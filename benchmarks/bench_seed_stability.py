@@ -1,0 +1,53 @@
+"""Methodological check: the headline ordering is seed-stable.
+
+The workload generator is seeded; this benchmark re-runs the Figure 11
+comparison on three different data seeds (reduced kernel set) and asserts
+that the paper's ordering — CASINO < CES <= Ballerino <= OoO — holds for
+every seed, i.e. the reproduction's conclusions are not an artifact of
+one particular random dataset.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ExperimentRunner, format_table, geomean
+from repro.core import config_for
+
+ARCHES = ("inorder", "casino", "ces", "ballerino", "ooo")
+KERNELS = ("hash_probe", "dag_wide", "mixed_int_fp", "histogram")
+SEEDS = (7, 101, 2024)
+
+
+def collect(runner):
+    data = {}
+    for seed in SEEDS:
+        base = {
+            w: runner.run(w, config_for("inorder"), seed=seed).seconds
+            for w in KERNELS
+        }
+        for arch in ARCHES:
+            data[(arch, seed)] = geomean([
+                base[w] / runner.run(w, config_for(arch), seed=seed).seconds
+                for w in KERNELS
+            ])
+    return data
+
+
+def test_seed_stability(runner, benchmark):
+    data = run_once(benchmark, lambda: collect(runner))
+    rows = [
+        [arch] + [data[(arch, seed)] for seed in SEEDS]
+        for arch in ARCHES
+    ]
+    print()
+    print(format_table(
+        ["arch"] + [f"seed {s}" for s in SEEDS], rows,
+        title="Seed stability: speedup over InO per data seed",
+    ))
+    for seed in SEEDS:
+        assert data[("casino", seed)] < data[("ces", seed)] * 1.02
+        assert data[("ces", seed)] <= data[("ballerino", seed)] * 1.03
+        assert data[("ballerino", seed)] <= data[("ooo", seed)] * 1.02
+        assert data[("inorder", seed)] < data[("ballerino", seed)]
+    # cross-seed spread of the headline ratio stays tight
+    ratios = [data[("ballerino", s)] / data[("ooo", s)] for s in SEEDS]
+    assert max(ratios) - min(ratios) < 0.10

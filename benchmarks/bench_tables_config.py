@@ -1,0 +1,68 @@
+"""Tables I and II: the evaluated configurations, regenerated from code.
+
+These tables are configuration inventories rather than measurements; the
+bench prints them from the presets in :mod:`repro.core.config` so the
+report documents exactly what every other benchmark ran.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core import config_for
+
+ARCHES = ("inorder", "ooo", "ces", "casino", "fxa", "ballerino", "ballerino12")
+
+
+def collect():
+    table1 = []
+    for width in (2, 4, 8):
+        cfg = config_for("ooo", width=width)
+        table1.append([
+            f"{width}-wide", cfg.frequency_ghz, cfg.decode_width,
+            cfg.rob_size, cfg.lq_size, cfg.sq_size,
+            f"{cfg.phys_int}i/{cfg.phys_fp}f", cfg.recovery_penalty,
+        ])
+    table2 = []
+    for arch in ARCHES:
+        sched = config_for(arch).scheduler
+        if sched.kind in ("inorder", "ooo"):
+            desc = f"{sched.iq_size}-entry unified IQ"
+        elif sched.kind == "ces":
+            desc = f"{sched.num_piqs} x {sched.piq_size}-entry P-IQ"
+        elif sched.kind == "casino":
+            desc = " -> ".join(str(s) for s in sched.casino_queues)
+        elif sched.kind == "fxa":
+            desc = f"{sched.ixu_depth}-stage IXU + {sched.iq_size}-entry OoO IQ"
+        else:
+            desc = (
+                f"{sched.siq_size}-entry S-IQ + "
+                f"{sched.num_piqs} x {sched.piq_size}-entry P-IQ"
+            )
+        table2.append([arch, sched.kind, desc])
+    return table1, table2
+
+
+def test_tables_1_and_2(benchmark):
+    table1, table2 = run_once(benchmark, collect)
+    print()
+    print(format_table(
+        ["core", "GHz", "dec", "ROB", "LQ", "SQ", "PRF", "penalty"],
+        table1, title="Table I: core configurations",
+        float_fmt="{:.1f}",
+    ))
+    print()
+    print(format_table(
+        ["arch", "kind", "scheduling window"],
+        table2, title="Table II: scheduling-window configurations",
+    ))
+    # Table II invariant: every non-FXA design gets ~the same entry budget
+    from repro.energy.model import _window_entries
+
+    budget = {
+        arch: _window_entries(config_for(arch)) for arch in ARCHES
+    }
+    assert budget["ooo"] == 96
+    assert budget["ces"] == 96
+    assert budget["casino"] == 96
+    assert budget["ballerino"] == 92  # 8 S-IQ + 7x12 (paper's Table II)
+    assert budget["fxa"] < budget["ooo"]  # half-size back end

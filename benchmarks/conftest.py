@@ -1,0 +1,23 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+All benchmarks share one :class:`ExperimentRunner` whose disk cache lives in
+``.bench_cache/`` at the repo root, so each (workload, config) simulation is
+paid for exactly once across the whole ``pytest benchmarks/`` invocation.
+
+Knobs: ``REPRO_BENCH_OPS`` (trace length, default 10000) and
+``REPRO_BENCH_SEED`` control fidelity vs. runtime.
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration: size Ballerino's scheduler for a power budget.
+
+Sweeps the number of P-IQs and the DVFS level and reports, for each point,
+performance and efficiency relative to the 8-wide out-of-order baseline —
+the §VI-E analysis as a reusable script.  This is the workflow a
+microarchitect would use the library for: pick the cheapest configuration
+that stays within X% of OoO performance.
+
+Run:  python examples/design_space.py [target_perf]   (default 0.95)
+"""
+
+import sys
+
+from repro import config_for
+from repro.analysis import ExperimentRunner, geomean
+from repro.energy import DVFS_LEVELS, EnergyModel, evaluate_level
+from repro.workloads.suite import SUITE_NAMES
+
+KERNELS = tuple(SUITE_NAMES[:8])  # trimmed suite keeps the sweep snappy
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 0.95
+    runner = ExperimentRunner(target_ops=6000)
+    model = EnergyModel()
+
+    ooo_cfg = config_for("ooo")
+    ooo_seconds = {w: runner.run(w, ooo_cfg).seconds for w in KERNELS}
+    ooo_energy = sum(
+        model.evaluate(runner.run(w, ooo_cfg), ooo_cfg).total_joules
+        for w in KERNELS
+    )
+
+    print(f"target: >= {target:.0%} of OoO performance, minimal energy")
+    print()
+    print(f"{'P-IQs':>5s} {'level':>5s} {'perf vs OoO':>12s} "
+          f"{'energy vs OoO':>14s} {'1/EDP vs OoO':>13s}")
+
+    best = None
+    for num_piqs in (5, 7, 9, 11):
+        cfg = config_for("ballerino", num_piqs=num_piqs)
+        results = {w: runner.run(w, cfg) for w in KERNELS}
+        for level, (freq, _volt) in DVFS_LEVELS.items():
+            perf = geomean([
+                ooo_seconds[w]
+                / (results[w].cycles / (freq * 1e9))
+                for w in KERNELS
+            ])
+            energy = sum(
+                evaluate_level(results[w], cfg, level, model).energy_joules
+                for w in KERNELS
+            )
+            eff = (1.0 / energy) * perf  # ~ 1/EDP ratio vs OoO
+            marker = ""
+            if perf >= target:
+                if best is None or energy < best[0]:
+                    best = (energy, num_piqs, level, perf)
+                    marker = "  <- feasible"
+            print(
+                f"{num_piqs:5d} {level:>5s} {perf:12.3f} "
+                f"{energy / ooo_energy:14.3f} "
+                f"{eff * ooo_energy:13.3f}{marker}"
+            )
+
+    print()
+    if best is None:
+        print(f"no configuration reaches {target:.0%} of OoO — widen the sweep")
+    else:
+        _, piqs, level, perf = best
+        freq, volt = DVFS_LEVELS[level]
+        print(
+            f"cheapest feasible point: {piqs} P-IQs @ {level} "
+            f"({freq} GHz, {volt} V) -> {perf:.1%} of OoO performance"
+        )
+
+
+if __name__ == "__main__":
+    main()

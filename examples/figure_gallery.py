@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Render the paper's headline figures as terminal bar charts.
+
+Uses the shared experiment cache (populated by `pytest benchmarks/
+--benchmark-only`, or on demand here — the first run takes minutes), then
+draws Figures 11, 13, 16 and 17c with `repro.analysis.plotting`.
+
+Run:  python examples/figure_gallery.py [ops]
+"""
+
+import sys
+
+from repro.analysis import ExperimentRunner
+from repro.analysis.experiments import (
+    collect_energy,
+    collect_fig11,
+    collect_fig13,
+    collect_fig14_siq_share,
+    collect_fig17c,
+)
+from repro.analysis.plotting import bar_chart
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    runner = ExperimentRunner(target_ops=ops)
+
+    fig11 = collect_fig11(runner)
+    print(bar_chart(
+        fig11,
+        title="Figure 11 - speedup over the 8-wide in-order core (geomean)",
+        reference=fig11["ooo"],
+    ))
+    print()
+
+    print(bar_chart(
+        collect_fig13(runner),
+        title="Figure 13 - step-by-step technique impact (speedup over InO)",
+    ))
+    print()
+
+    share = collect_fig14_siq_share(runner)
+    print(bar_chart(
+        {"S-IQ (speculative issue)": share, "P-IQs (dependence chains)": 1 - share},
+        title="Figure 14 - where Ballerino's instructions issue from",
+        fmt="{:.0%}",
+    ))
+    print()
+
+    energy = collect_energy(runner)
+    ooo = energy["ooo"]
+    efficiency = {
+        arch: (ooo["total"] * ooo["seconds"]) / (d["total"] * d["seconds"])
+        for arch, d in energy.items()
+    }
+    print(bar_chart(
+        efficiency,
+        title="Figure 16 - energy efficiency (1/EDP) vs OoO",
+        reference=1.0,
+    ))
+    print()
+
+    fig17c = {f"{n} P-IQs": v for n, v in collect_fig17c(runner).items()}
+    print(bar_chart(
+        fig17c,
+        title="Figure 17c - Ballerino performance vs OoO by P-IQ count",
+        reference=1.0,
+        fmt="{:.3f}",
+    ))
+    print()
+    print(
+        f"(traces: {ops} micro-ops each; results cached in .bench_cache/ — "
+        "see EXPERIMENTS.md for the full paper-vs-measured comparison)"
+    )
+
+
+if __name__ == "__main__":
+    main()

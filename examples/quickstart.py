@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one workload on Ballerino and the baselines.
+
+Builds a synthetic workload trace, runs it through the in-order,
+out-of-order and Ballerino cores, and prints IPC, speedups, and the
+core-energy comparison — the library's whole API surface in ~40 lines.
+
+Run:  python examples/quickstart.py [workload] [ops]
+"""
+
+import sys
+
+from repro import build_trace, config_for, simulate
+from repro.energy import EnergyModel
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "dag_wide"
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    print(f"building trace: {workload} (~{ops} micro-ops)")
+    trace = build_trace(workload, target_ops=ops)
+    print(f"  {trace.summary()}")
+
+    model = EnergyModel()
+    results = {}
+    for arch in ("inorder", "ooo", "ballerino", "ballerino12"):
+        config = config_for(arch)
+        result = simulate(trace, config)
+        energy = model.evaluate(result, config)
+        results[arch] = (result, energy)
+        print(
+            f"{arch:12s} ipc={result.ipc:5.2f} cycles={result.cycles:8d} "
+            f"energy/op={energy.energy_per_instruction_pj:6.1f} pJ "
+            f"mispredicts={result.stats.branch_mispredicts}"
+        )
+
+    ino = results["inorder"][0]
+    ooo_result, ooo_energy = results["ooo"]
+    bal_result, bal_energy = results["ballerino12"]
+    print()
+    print(f"OoO speedup over InO:          {ino.cycles / ooo_result.cycles:.2f}x")
+    print(f"Ballerino-12 speedup over InO: {ino.cycles / bal_result.cycles:.2f}x")
+    print(
+        "Ballerino-12 vs OoO:           "
+        f"{ooo_result.cycles / bal_result.cycles:.1%} of OoO performance, "
+        f"{bal_energy.total_pj / ooo_energy.total_pj:.1%} of OoO energy, "
+        f"{bal_energy.efficiency / ooo_energy.efficiency:.2f}x efficiency (1/EDP)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline, so PEP 517 build isolation cannot
+download build dependencies)."""
+
+from setuptools import setup
+
+setup()

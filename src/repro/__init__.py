@@ -1,0 +1,43 @@
+"""Ballerino reproduction: an out-of-order issue queue rebuilt from in-order IQs.
+
+A from-scratch cycle-level core simulator plus the six scheduling windows
+evaluated in *Reconstructing Out-of-Order Issue Queue* (MICRO 2022):
+in-order, out-of-order, CES, CASINO, FXA and Ballerino.
+
+Quickstart::
+
+    from repro import build_trace, config_for, simulate
+
+    trace = build_trace("stream_triad", target_ops=20_000)
+    result = simulate(trace, config_for("ballerino"))
+    print(result.ipc)
+"""
+
+from .core.config import CoreConfig, SchedulerParams, config_for
+from .core.pipeline import Pipeline, SimulationDeadlock, simulate
+from .core.stats import SimResult
+from .workloads.kernels import KERNELS, build_trace
+from .workloads.program import Program, ProgramBuilder
+from .workloads.suite import SUITE_NAMES, default_suite, get_trace
+from .workloads.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoreConfig",
+    "SchedulerParams",
+    "config_for",
+    "Pipeline",
+    "SimulationDeadlock",
+    "simulate",
+    "SimResult",
+    "KERNELS",
+    "build_trace",
+    "Program",
+    "ProgramBuilder",
+    "SUITE_NAMES",
+    "default_suite",
+    "get_trace",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Experiment running, caching, analysis, and reporting."""
+
+from .dataflow import DataflowReport, analyze, characterize_suite
+from .plotting import bar_chart, stacked_bars
+from .report import format_table, normalise
+from .runner import DEFAULT_OPS, DEFAULT_SEED, ExperimentRunner, geomean
+from .sweep import SweepPoint, SweepResult, sweep
+
+__all__ = [
+    "bar_chart",
+    "stacked_bars",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "DataflowReport",
+    "analyze",
+    "characterize_suite",
+    "format_table",
+    "normalise",
+    "DEFAULT_OPS",
+    "DEFAULT_SEED",
+    "ExperimentRunner",
+    "geomean",
+]

@@ -1,0 +1,97 @@
+"""Dataflow-limit analysis: the ideal-machine upper bound for a trace.
+
+Given a dynamic trace, computes the length of its *dataflow critical path*
+— the longest chain of true (register and, optionally, memory) dependences
+weighted by execution latency — and the resulting ideal IPC for a machine
+with infinite fetch/issue/memory bandwidth and perfect branch prediction.
+
+This is the classic "dataflow limit" oracle: no real scheduler can beat
+it, which makes it both a workload-characterisation tool (how much ILP is
+there to find?) and a simulator-wide sanity invariant (each simulated IPC
+must stay below the limit).
+
+Memory is modelled optimistically at the L1 hit latency; store->load
+memory dependences through the same word are honoured when
+``memory_dependences=True``, so the bound stays sound for the real
+machines (which also forward through memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa.registers import ZERO
+from ..workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class DataflowReport:
+    """Critical-path summary of one trace."""
+
+    ops: int
+    critical_path: int  # cycles along the longest dependence chain
+    ideal_ipc: float
+    chain_fraction: float  # ops on the critical path / all ops
+
+    def bounds(self, measured_ipc: float) -> float:
+        """How much of the dataflow limit a measured IPC achieves."""
+        return measured_ipc / self.ideal_ipc if self.ideal_ipc else 0.0
+
+
+def analyze(
+    trace: Trace,
+    load_latency: int = 5,
+    memory_dependences: bool = True,
+) -> DataflowReport:
+    """Compute the dataflow critical path of ``trace``.
+
+    Args:
+        trace: The dynamic micro-op stream.
+        load_latency: Optimistic load completion latency (AGU + L1 hit).
+        memory_dependences: Honour store->load same-word dependences.
+    """
+    reg_ready: Dict[int, int] = {}  # arch reg -> completion time of producer
+    mem_ready: Dict[int, int] = {}  # word addr -> completion of last store
+    critical = 0
+    # count ops whose completion defines the running critical path
+    on_path = 0
+    last_critical_op: Optional[int] = None
+
+    for op in trace:
+        start = 0
+        for src in op.srcs:
+            if src != ZERO:
+                start = max(start, reg_ready.get(src, 0))
+        if memory_dependences and op.is_load and op.mem_addr in mem_ready:
+            start = max(start, mem_ready[op.mem_addr])
+        if op.is_load:
+            latency = load_latency
+        else:
+            latency = op.opcode.latency
+        done = start + latency
+        if op.dest is not None and op.dest != ZERO:
+            reg_ready[op.dest] = done
+        if memory_dependences and op.is_store and op.mem_addr is not None:
+            mem_ready[op.mem_addr] = done
+        if done > critical:
+            critical = done
+            if last_critical_op != op.seq:
+                on_path += 1
+                last_critical_op = op.seq
+
+    ops = len(trace)
+    ideal_ipc = ops / critical if critical else float(ops)
+    return DataflowReport(
+        ops=ops,
+        critical_path=critical,
+        ideal_ipc=ideal_ipc,
+        chain_fraction=on_path / ops if ops else 0.0,
+    )
+
+
+def characterize_suite(
+    traces, load_latency: int = 5
+) -> Dict[str, DataflowReport]:
+    """Dataflow reports for a collection of traces (suite helper)."""
+    return {trace.name: analyze(trace, load_latency) for trace in traces}

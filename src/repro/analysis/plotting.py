@@ -1,0 +1,99 @@
+"""Terminal plotting: ASCII bar charts for figure rendering.
+
+The benchmarks print numeric tables; the CLI's ``figure`` command uses
+these helpers to render the same data as horizontal bar charts so a
+reproduction figure can be eyeballed directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+FULL = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    fmt: str = "{:.2f}",
+    reference: Optional[float] = None,
+) -> str:
+    """Render ``label -> value`` as horizontal bars.
+
+    Args:
+        values: Ordered mapping of label to (non-negative) value.
+        title: Optional heading line.
+        width: Maximum bar width in characters.
+        fmt: Number format for the value column.
+        reference: Draw a ``|`` marker at this value (e.g. the baseline).
+    """
+    if not values:
+        return title
+    peak = max(max(values.values()), reference or 0.0) or 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = [title] if title else []
+    marker_col = (
+        round(reference / peak * width) if reference is not None else None
+    )
+    for label, value in values.items():
+        length = round(value / peak * width)
+        bar = FULL * length
+        if marker_col is not None and marker_col <= width:
+            padded = bar.ljust(marker_col)
+            if len(padded) > marker_col:
+                padded = padded[:marker_col] + "|" + padded[marker_col + 1:]
+            else:
+                padded += "|"
+            bar = padded
+        lines.append(
+            f"{str(label).ljust(label_width)} | {bar.ljust(width)} "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    labels: Sequence[str],
+    segments: Dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Render stacked horizontal bars (one letter per segment category).
+
+    Args:
+        labels: One label per bar.
+        segments: category -> per-bar values (all sequences same length).
+        title: Optional heading.
+        width: Width of the largest total bar.
+    """
+    categories = list(segments)
+    # assign each category a unique letter: first unused character of its
+    # name, falling back to any unused letter
+    letters: Dict[str, str] = {}
+    used = set()
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    for cat in categories:
+        candidates = [c.upper() for c in cat if c.isalnum()]
+        choice = next(
+            (c for c in candidates if c not in used),
+            next(c for c in alphabet if c not in used),
+        )
+        letters[cat] = choice
+        used.add(choice)
+    totals = [
+        sum(segments[cat][i] for cat in categories)
+        for i in range(len(labels))
+    ]
+    peak = max(totals) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for i, label in enumerate(labels):
+        bar = ""
+        for cat in categories:
+            length = round(segments[cat][i] / peak * width)
+            bar += letters[cat] * length
+        lines.append(f"{str(label).ljust(label_width)} | {bar}")
+    legend = "  ".join(f"{letters[cat]}={cat}" for cat in categories)
+    lines.append(f"{''.ljust(label_width)}   [{legend}]")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Experiment runner with a persistent result cache.
+
+Every figure in the paper's evaluation replays the same (workload, config)
+simulations; the runner memoises each run both in memory and on disk
+(JSON under ``.bench_cache/``) so the whole benchmark suite pays for each
+simulation exactly once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_OPS`` — dynamic micro-ops per workload trace (default 10000).
+* ``REPRO_BENCH_SEED`` — workload data seed (default 7).
+* ``REPRO_BENCH_CACHE`` — cache directory ("" disables the disk cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import CoreConfig, config_for
+from ..core.pipeline import simulate
+from ..core.stats import SimResult
+from ..workloads.suite import SUITE_NAMES, get_trace
+
+DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
+DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+class ExperimentRunner:
+    """Runs and caches (workload x config) simulations."""
+
+    def __init__(
+        self,
+        target_ops: int = DEFAULT_OPS,
+        seed: int = DEFAULT_SEED,
+        cache_dir: Optional[str] = None,
+    ):
+        self.target_ops = target_ops
+        self.seed = seed
+        if cache_dir is None:
+            cache_dir = os.environ.get(
+                "REPRO_BENCH_CACHE",
+                str(Path(__file__).resolve().parents[3] / ".bench_cache"),
+            )
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, SimResult] = {}
+        self.simulations_run = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, workload: str, config: CoreConfig, seed: int) -> str:
+        blob = json.dumps(
+            {
+                "workload": workload,
+                "ops": self.target_ops,
+                "seed": seed,
+                "config": config.name,
+                "sched": vars(config.scheduler) if hasattr(config.scheduler, "__dict__")
+                else str(config.scheduler),
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+    def run(self, workload: str, config: CoreConfig,
+            seed: Optional[int] = None) -> SimResult:
+        """Run (or fetch) one simulation.
+
+        ``seed`` overrides the runner's workload-data seed for seed-
+        sensitivity studies; the cache distinguishes seeds.
+        """
+        seed = self.seed if seed is None else seed
+        key = self._key(workload, config, seed)
+        if key in self._memory:
+            self.cache_hits += 1
+            return self._memory[key]
+        if self.cache_dir is not None:
+            path = self.cache_dir / f"{key}.json"
+            if path.exists():
+                result = SimResult.from_dict(json.loads(path.read_text()))
+                self._memory[key] = result
+                self.cache_hits += 1
+                return result
+        trace = get_trace(workload, self.target_ops, seed)
+        result = simulate(trace, config)
+        self.simulations_run += 1
+        self._memory[key] = result
+        if self.cache_dir is not None:
+            (self.cache_dir / f"{key}.json").write_text(
+                json.dumps(result.to_dict())
+            )
+        return result
+
+    def run_seeds(self, workload: str, config: CoreConfig,
+                  seeds: Sequence[int]) -> List[SimResult]:
+        """Run the same (workload, config) across several data seeds."""
+        return [self.run(workload, config, seed=seed) for seed in seeds]
+
+    def run_arch(self, workload: str, arch: str, width: int = 8, **overrides) -> SimResult:
+        """Run (or fetch) using a named architecture preset."""
+        return self.run(workload, config_for(arch, width=width, **overrides))
+
+    # ------------------------------------------------------------------
+    def suite_results(
+        self,
+        config: CoreConfig,
+        workloads: Sequence[str] = SUITE_NAMES,
+    ) -> Dict[str, SimResult]:
+        """Run the whole suite under one configuration."""
+        return {name: self.run(name, config) for name in workloads}
+
+    def speedups_over(
+        self,
+        config: CoreConfig,
+        baseline: CoreConfig,
+        workloads: Sequence[str] = SUITE_NAMES,
+    ) -> Dict[str, float]:
+        """Per-workload speedup (execution time ratio) of config vs baseline."""
+        out = {}
+        for name in workloads:
+            base = self.run(name, baseline)
+            test = self.run(name, config)
+            out[name] = base.seconds / test.seconds
+        return out
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-suite aggregate)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,110 @@
+"""Structured parameter sweeps over (configs x workloads).
+
+A thin layer above :class:`~repro.analysis.runner.ExperimentRunner` for
+design-space exploration: declare the axes, get back a tidy list of
+records plus aggregate helpers.  Used by ``examples/design_space.py``-style
+studies and handy for ad-hoc research scripts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.config import CoreConfig, config_for
+from ..core.stats import SimResult
+from ..workloads.suite import SUITE_NAMES
+from .runner import ExperimentRunner, geomean
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (config, workload) cell of a sweep."""
+
+    params: Dict[str, object]
+    workload: str
+    result: SimResult
+
+    @property
+    def ipc(self) -> float:
+        return self.result.ipc
+
+    @property
+    def seconds(self) -> float:
+        return self.result.seconds
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, with aggregation helpers."""
+
+    points: List[SweepPoint]
+
+    def filter(self, **params) -> "SweepResult":
+        """Cells whose parameters match every given key=value."""
+        kept = [
+            p for p in self.points
+            if all(p.params.get(k) == v for k, v in params.items())
+        ]
+        return SweepResult(kept)
+
+    def geomean_ipc(self, **params) -> float:
+        cells = self.filter(**params).points
+        return geomean([p.ipc for p in cells])
+
+    def best(self, metric: Callable[[SweepPoint], float]) -> SweepPoint:
+        """The cell maximising ``metric``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        return max(self.points, key=metric)
+
+    def table(self, metric: Callable[[SweepPoint], float] = None):
+        """(params, workload, value) triples for rendering."""
+        metric = metric if metric is not None else (lambda p: p.ipc)
+        return [
+            (dict(p.params), p.workload, metric(p)) for p in self.points
+        ]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def sweep(
+    axes: Mapping[str, Sequence],
+    config_builder: Callable[..., CoreConfig] = None,
+    workloads: Sequence[str] = SUITE_NAMES,
+    runner: Optional[ExperimentRunner] = None,
+) -> SweepResult:
+    """Run the cartesian product of ``axes`` over ``workloads``.
+
+    Args:
+        axes: parameter name -> values; each combination is passed as
+            keyword arguments to ``config_builder``.
+        config_builder: ``f(**params) -> CoreConfig``; defaults to
+            :func:`~repro.core.config.config_for` (so an ``arch`` axis is
+            expected, plus optional ``width`` / ``num_piqs`` / ...).
+        workloads: kernels to run each configuration on.
+        runner: shared (cached) runner; a default one is created if absent.
+
+    Example::
+
+        result = sweep(
+            {"arch": ["ballerino"], "num_piqs": [5, 7, 9, 11]},
+            workloads=["dag_wide", "hash_probe"],
+        )
+        result.geomean_ipc(num_piqs=11)
+    """
+    config_builder = config_builder if config_builder is not None else config_for
+    runner = runner if runner is not None else ExperimentRunner()
+    names = list(axes)
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        params = dict(zip(names, combo))
+        config = config_builder(**params)
+        for workload in workloads:
+            result = runner.run(workload, config)
+            points.append(
+                SweepPoint(params=params, workload=workload, result=result)
+            )
+    return SweepResult(points)

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads`` — list the kernel suite with one-line descriptions.
+* ``configs`` — list the microarchitecture presets (Tables I & II).
+* ``simulate WORKLOAD ARCH`` — run one simulation and print its summary.
+* ``compare WORKLOAD [ARCH ...]`` — side-by-side IPC/energy comparison.
+* ``suite ARCH`` — run the whole suite under one design.
+* ``report`` — print the paper-vs-measured EXPERIMENTS report.
+
+All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` and use
+the shared ``.bench_cache`` result cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_table
+from .analysis.runner import ExperimentRunner, geomean
+from .core.config import FIG11_ARCHES, config_for
+from .energy.model import EnergyModel
+from .workloads.kernels import KERNELS
+from .workloads.suite import SUITE_NAMES
+
+_ALL_ARCHES = (
+    "inorder", "ooo", "ooo_oldest", "ces", "ces_mda", "casino", "fxa",
+    "ballerino", "ballerino12", "ballerino_step1", "ballerino_step2",
+    "ballerino_ideal", "dnb", "spq",
+)
+
+
+def _make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ballerino (MICRO 2022) reproduction toolkit",
+    )
+    parser.add_argument("--ops", type=int, default=10_000,
+                        help="dynamic micro-ops per workload trace")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload data seed")
+    parser.add_argument("--width", type=int, default=8, choices=(2, 4, 8, 10),
+                        help="issue width")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the kernel suite")
+    sub.add_parser("configs", help="list the microarchitecture presets")
+
+    sim = sub.add_parser("simulate", help="run one simulation")
+    sim.add_argument("workload", choices=sorted(KERNELS))
+    sim.add_argument("arch", choices=_ALL_ARCHES)
+
+    cmp_cmd = sub.add_parser("compare", help="compare designs on a workload")
+    cmp_cmd.add_argument("workload", choices=sorted(KERNELS))
+    cmp_cmd.add_argument("arches", nargs="*",
+                         default=["inorder", "ces", "casino", "fxa",
+                                  "ballerino", "ooo"])
+
+    suite = sub.add_parser("suite", help="run the whole suite on one design")
+    suite.add_argument("arch", choices=_ALL_ARCHES)
+
+    sub.add_parser("report", help="print the paper-vs-measured report")
+
+    fig = sub.add_parser("figure", help="render a figure as ASCII bars")
+    fig.add_argument("which", choices=("fig11", "fig13", "fig16", "fig17c"))
+
+    char = sub.add_parser("characterize",
+                          help="dataflow-limit analysis of the suite")
+    return parser
+
+
+def _runner(args) -> ExperimentRunner:
+    cache = "" if args.no_cache else None
+    return ExperimentRunner(target_ops=args.ops, seed=args.seed,
+                            cache_dir=cache)
+
+
+def _cmd_workloads(args) -> int:
+    rows = [[spec.name, spec.description] for spec in KERNELS.values()]
+    print(format_table(["kernel", "behaviour"], rows,
+                       title="workload suite"))
+    return 0
+
+
+def _cmd_configs(args) -> int:
+    rows = []
+    for arch in _ALL_ARCHES:
+        cfg = config_for(arch, width=args.width)
+        sched = cfg.scheduler
+        rows.append([arch, sched.kind, cfg.issue_width,
+                     f"{cfg.frequency_ghz:.1f} GHz", cfg.rob_size])
+    print(format_table(["arch", "scheduler", "width", "freq", "ROB"], rows,
+                       title=f"presets at {args.width}-wide"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    runner = _runner(args)
+    result = runner.run_arch(args.workload, args.arch, width=args.width)
+    cfg = config_for(args.arch, width=args.width)
+    report = EnergyModel().evaluate(result, cfg)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["workload", args.workload],
+            ["config", cfg.name],
+            ["cycles", result.cycles],
+            ["committed", result.stats.committed],
+            ["IPC", round(result.ipc, 3)],
+            ["branch mispredicts", result.stats.branch_mispredicts],
+            ["order violations", result.stats.order_violations],
+            ["energy/op (pJ)", round(report.energy_per_instruction_pj, 1)],
+        ],
+        title="simulation summary",
+    ))
+    breakdown = result.stats.breakdown.averages()
+    rows = [[klass] + [breakdown[klass][seg] for seg in
+                       ("decode_to_dispatch", "dispatch_to_ready",
+                        "ready_to_issue")]
+            for klass in ("Ld", "LdC", "Rst", "All")]
+    print()
+    print(format_table(
+        ["class", "dec->disp", "disp->ready", "ready->issue"], rows,
+        title="decode-to-issue breakdown (cycles)", float_fmt="{:.1f}",
+    ))
+    print()
+    fractions = report.fractions()
+    from .analysis.plotting import stacked_bars
+
+    print(stacked_bars(
+        [cfg.name],
+        {category: [fraction] for category, fraction in fractions.items()
+         if fraction > 0.005},
+        title="core energy by component (Fig. 15 categories)",
+    ))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = _runner(args)
+    model = EnergyModel()
+    rows = []
+    for arch in args.arches:
+        if arch not in _ALL_ARCHES:
+            print(f"unknown arch: {arch}", file=sys.stderr)
+            return 2
+        result = runner.run_arch(args.workload, arch, width=args.width)
+        cfg = config_for(arch, width=args.width)
+        report = model.evaluate(result, cfg)
+        rows.append([
+            arch, round(result.ipc, 3), result.cycles,
+            round(report.energy_per_instruction_pj, 1),
+            round(report.efficiency / 1e12, 3),
+        ])
+    print(format_table(
+        ["arch", "IPC", "cycles", "pJ/op", "1/EDP (1/(J*s) x1e12)"], rows,
+        title=f"{args.workload} @ {args.width}-wide",
+    ))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    runner = _runner(args)
+    rows = []
+    speedups = []
+    for workload in SUITE_NAMES:
+        base = runner.run_arch(workload, "inorder", width=args.width)
+        result = runner.run_arch(workload, args.arch, width=args.width)
+        speedup = base.seconds / result.seconds
+        speedups.append(speedup)
+        rows.append([workload, round(result.ipc, 3), result.cycles,
+                     round(speedup, 2)])
+    rows.append(["GEOMEAN", "", "", round(geomean(speedups), 2)])
+    print(format_table(
+        ["workload", "IPC", "cycles", "speedup/InO"], rows,
+        title=f"{args.arch} @ {args.width}-wide across the suite",
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.experiments import build_report
+
+    print(build_report(_runner(args)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .analysis import experiments
+    from .analysis.plotting import bar_chart
+
+    runner = _runner(args)
+    if args.which == "fig11":
+        data = experiments.collect_fig11(runner)
+        print(bar_chart(data, title="Figure 11: speedup over InO (geomean)",
+                        reference=data["ooo"]))
+    elif args.which == "fig13":
+        data = experiments.collect_fig13(runner)
+        print(bar_chart(data, title="Figure 13: step-by-step (speedup/InO)"))
+    elif args.which == "fig16":
+        energy = experiments.collect_energy(runner)
+        ooo = energy["ooo"]
+        eff = {
+            arch: (ooo["total"] * ooo["seconds"])
+            / (d["total"] * d["seconds"])
+            for arch, d in energy.items()
+        }
+        print(bar_chart(eff, title="Figure 16: 1/EDP vs OoO", reference=1.0))
+    else:  # fig17c
+        data = {
+            f"{count} P-IQs": value
+            for count, value in experiments.collect_fig17c(runner).items()
+        }
+        print(bar_chart(data, title="Figure 17c: perf vs OoO by P-IQ count",
+                        reference=1.0))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analysis.dataflow import analyze
+    from .workloads.suite import get_trace
+
+    rows = []
+    for workload in SUITE_NAMES:
+        trace = get_trace(workload, args.ops, args.seed)
+        report = analyze(trace)
+        rows.append([
+            workload, report.ops, report.critical_path,
+            round(report.ideal_ipc, 2), round(report.chain_fraction, 3),
+        ])
+    print(format_table(
+        ["workload", "ops", "critical path", "dataflow IPC limit",
+         "chain fraction"],
+        rows, title="dataflow-limit characterisation",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "configs": _cmd_configs,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "suite": _cmd_suite,
+    "report": _cmd_report,
+    "figure": _cmd_figure,
+    "characterize": _cmd_characterize,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _make_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

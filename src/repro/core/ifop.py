@@ -1,0 +1,85 @@
+"""In-flight micro-op bookkeeping shared by the pipeline and schedulers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..isa.instruction import DynOp
+
+
+class InFlightOp:
+    """Mutable per-attempt state of one dynamic micro-op in the pipeline.
+
+    A fresh object is created each time the op is fetched (so a squashed and
+    re-fetched op never aliases stale event-queue entries).
+
+    Timestamps follow the paper's Figure 3c stages: decode (fetch into the
+    front end), dispatch (into the scheduler), ready (last operand became
+    available), issue, complete, commit.
+    """
+
+    __slots__ = (
+        "seq",
+        "op",
+        "dest_preg",
+        "src_pregs",
+        "prev_dest_preg",
+        "dest_arch",
+        "port",
+        "mdp_dep_seq",
+        "klass",
+        "mispredicted",
+        "decode_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "ready_cycle",
+        "complete_cycle",
+        "issued",
+        "completed",
+        "iq_index",
+        "iq_partition",
+        "sched_tag",
+    )
+
+    def __init__(self, seq: int, op: DynOp, decode_cycle: int):
+        self.seq = seq
+        self.op = op
+        self.dest_preg: Optional[int] = None
+        self.src_pregs: Tuple[int, ...] = ()
+        self.prev_dest_preg: Optional[int] = None
+        self.dest_arch: Optional[int] = None
+        self.port: int = -1
+        self.mdp_dep_seq: Optional[int] = None
+        self.klass: str = "Rst"  # Ld / LdC / Rst (paper Fig. 3c taxonomy)
+        self.mispredicted: bool = False
+        self.decode_cycle = decode_cycle
+        self.dispatch_cycle: int = -1
+        self.issue_cycle: int = -1
+        self.ready_cycle: int = -1
+        self.complete_cycle: int = -1
+        self.issued: bool = False
+        self.completed: bool = False
+        # scheduler scratch state
+        self.iq_index: int = -1
+        self.iq_partition: int = 0
+        self.sched_tag: str = ""
+
+    # convenience passthroughs -----------------------------------------
+    @property
+    def opcode(self):
+        return self.op.opcode
+
+    @property
+    def is_load(self) -> bool:
+        return self.op.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.op.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op.is_branch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<IFOp {self.seq} {self.op.opcode.name} port={self.port}>"

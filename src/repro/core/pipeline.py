@@ -1,0 +1,571 @@
+"""The cycle-level core pipeline.
+
+A trace-driven model of the paper's baseline core (Table I): fetch (with
+TAGE + BTB and an L1I), decode/allocation queue, two-stage rename,
+dispatch, a pluggable *scheduler* (the subject of the paper — see
+:mod:`repro.sched`), execute over issue ports and FUs, a load/store unit
+with forwarding and memory-order-violation squash, store-set MDP, and
+in-order commit from a ROB.
+
+Phase order within a cycle is reverse-pipeline (commit, completion events,
+issue, dispatch, rename, fetch) so that same-cycle structural releases and
+back-to-back wakeup behave like hardware: an op issued at cycle *C* with a
+1-cycle FU marks its destination ready during the completion phase of
+*C + 1*, letting a dependent op issue in *C + 1*'s issue phase.
+
+Recovery is modelled with the paper's penalties: a mispredicted branch
+stops fetch until it resolves plus the recovery penalty; a memory-order
+violation squashes from the offending load, re-fetches, and charges the
+same penalty.  Wrong-path execution itself is not simulated (trace-driven;
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..frontend.branch_predictor import FrontEnd
+from ..isa.opcodes import OpClass
+from ..lsq.mdp import StoreSetPredictor
+from ..lsq.queues import LoadStoreUnit
+from ..memory.cache import LINE_SIZE
+from ..memory.hierarchy import CODE_BASE, MemoryHierarchy
+from ..rename.rename_unit import RenameUnit
+from ..workloads.trace import Trace
+from .config import CoreConfig
+from .ifop import InFlightOp
+from .ports import PORT_MAPS_BY_WIDTH, PortFile
+from .regready import ReadyFile
+from .rob import ReorderBuffer
+from .stats import SimResult, SimStats
+
+#: FU energy-event name per op class.
+_FU_EVENT = {
+    OpClass.INT_ALU: "fu_int",
+    OpClass.INT_MUL: "fu_mul",
+    OpClass.INT_DIV: "fu_div",
+    OpClass.FP_ADD: "fu_fp",
+    OpClass.FP_MUL: "fu_fp",
+    OpClass.FP_DIV: "fu_fp",
+    OpClass.LOAD: "fu_agu",
+    OpClass.STORE: "fu_agu",
+    OpClass.BRANCH: "fu_branch",
+    OpClass.NOP: "fu_int",
+}
+
+
+class SimulationDeadlock(RuntimeError):
+    """No instruction committed for an implausibly long stretch."""
+
+
+class Pipeline:
+    """One simulated core executing one trace.
+
+    Args:
+        trace: The dynamic micro-op stream to replay.
+        config: Core configuration (see :mod:`repro.core.config`).
+        scheduler_factory: ``f(pipeline) -> scheduler``; defaults to building
+            the scheduler named by ``config.scheduler.kind``.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: CoreConfig,
+        scheduler_factory: Optional[Callable[["Pipeline"], object]] = None,
+        check_invariants: bool = False,
+    ):
+        self.trace = trace
+        self.config = config
+        self.hier = MemoryHierarchy(config.hierarchy)
+        self.frontend = FrontEnd()
+        self.rename = RenameUnit(config.phys_int, config.phys_fp)
+        self.ready = ReadyFile(self.rename.num_phys)
+        self.lsu = LoadStoreUnit(config.lq_size, config.sq_size)
+        self.mdp: Optional[StoreSetPredictor] = (
+            StoreSetPredictor() if config.mdp_enabled else None
+        )
+        self.rob = ReorderBuffer(config.rob_size)
+        self.ports = PortFile(PORT_MAPS_BY_WIDTH[config.issue_width])
+        self.stats = SimStats()
+        self.energy = self.stats.energy_events
+
+        self.cycle = 0
+        self.commit_count = 0
+        self.fetch_index = 0
+        self.fetch_resume_at = 0
+        self.pending_redirect: Optional[int] = None  # seq of blocking branch
+        self._last_ifetch_line = -1
+
+        self.decode_queue: Deque[InFlightOp] = deque()
+        self.dispatch_queue: Deque[Tuple[int, InFlightOp]] = deque()
+        self.inflight: Dict[int, InFlightOp] = {}
+        self._events: List[Tuple[int, int, int, str, InFlightOp]] = []
+        self._event_counter = 0
+        self._store_issued: Dict[int, int] = {}  # store seq -> issue cycle
+        self._taint: Dict[int, int] = {}  # preg -> tainting load seq
+
+        self.check_invariants = check_invariants
+
+        if scheduler_factory is None:
+            from ..sched import create_scheduler
+
+            scheduler_factory = create_scheduler
+        self.scheduler = scheduler_factory(self)
+
+    # ==================================================================
+    # services used by schedulers
+    # ==================================================================
+    def srcs_ready(self, ifop: InFlightOp, cycle: int) -> bool:
+        ready = self.ready
+        for preg in ifop.src_pregs:
+            if not ready.is_ready(preg, cycle):
+                return False
+        return True
+
+    def mdp_dep_satisfied(self, ifop: InFlightOp) -> bool:
+        dep = ifop.mdp_dep_seq
+        if dep is None or dep < self.commit_count:
+            return True
+        return dep in self._store_issued
+
+    def op_ready(self, ifop: InFlightOp, cycle: int) -> bool:
+        """All register operands ready and any MDP dependence satisfied."""
+        return self.srcs_ready(ifop, cycle) and self.mdp_dep_satisfied(ifop)
+
+    def try_grant(self, ifop: InFlightOp, cycle: int) -> bool:
+        """Request this op's issue port; True (and consumed) if granted."""
+        opcode = ifop.opcode
+        klass = opcode.op_class
+        if self.ports.can_issue(ifop.port, klass, cycle):
+            self.ports.grant(ifop.port, klass, cycle, opcode.latency,
+                             opcode.pipelined)
+            return True
+        return False
+
+    def producer_incomplete(self, preg: int, cycle: int) -> bool:
+        return not self.ready.is_ready(preg, cycle)
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def run(self, max_cycles: int = 50_000_000) -> SimResult:
+        """Simulate until the whole trace commits; return the results."""
+        total = len(self.trace)
+        last_commit_cycle = 0
+        while self.commit_count < total:
+            before = self.commit_count
+            self._commit()
+            if self.commit_count != before:
+                last_commit_cycle = self.cycle
+            self._process_events()
+            self._issue()
+            self._dispatch()
+            self._rename_stage()
+            self._fetch()
+            if self.check_invariants:
+                self._assert_invariants()
+            self.cycle += 1
+            if self.cycle - last_commit_cycle > 100_000:
+                raise SimulationDeadlock(
+                    f"{self.config.name}/{self.trace.name}: no commit since "
+                    f"cycle {last_commit_cycle} (now {self.cycle}); "
+                    f"rob={len(self.rob)} head={self.rob.head}"
+                )
+            if self.cycle > max_cycles:
+                raise SimulationDeadlock("max_cycles exceeded")
+        self.stats.cycles = self.cycle
+        self.stats.scheduler = dict(self.scheduler.extra_stats())
+        self.stats.branch_lookups = self.frontend.lookups
+        for name, count in self.hier.events.items():
+            self.energy[name] += count
+        return SimResult(
+            workload=self.trace.name,
+            config_name=self.config.name,
+            stats=self.stats,
+            memory_stats=self.hier.stats(),
+            frequency_ghz=self.config.frequency_ghz,
+        )
+
+    # ==================================================================
+    # debug invariants (enabled with check_invariants=True)
+    # ==================================================================
+    def _assert_invariants(self) -> None:
+        """End-of-cycle microarchitectural invariants (debug mode).
+
+        These catch scheduler/pipeline bookkeeping bugs early: structural
+        capacities, in-order ROB contents, and LSQ/ROB agreement.
+        """
+        assert len(self.rob) <= self.config.rob_size, "ROB overflow"
+        assert self.lsu.lq_occupancy <= self.config.lq_size, "LQ overflow"
+        assert self.lsu.sq_occupancy <= self.config.sq_size, "SQ overflow"
+        rob_seqs = [op.seq for op in self.rob._entries]
+        assert rob_seqs == sorted(rob_seqs), "ROB out of program order"
+        assert all(
+            count >= 0 for count in self.ports.inflight
+        ), "negative port in-flight count"
+        # every un-issued ROB op must still be inside the scheduler window
+        unissued = sum(1 for op in self.rob._entries if not op.issued)
+        assert unissued <= self.scheduler.occupancy() + len(
+            self.dispatch_queue
+        ), "scheduler lost track of an un-issued op"
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+    def _commit(self) -> None:
+        for _ in range(self.config.commit_width):
+            if not self.rob.commit_ready():
+                return
+            ifop = self.rob.pop_head()
+            seq = ifop.seq
+            if ifop.is_store:
+                entry = self.lsu.commit_store(seq)
+                # retire the store's write into the data cache
+                self.hier.access_data(
+                    entry.addr, self.cycle, is_write=True, pc=ifop.op.pc
+                )
+            elif ifop.is_load:
+                self.lsu.commit_load(seq)
+            self.rename.commit_mapping(ifop.prev_dest_preg)
+            if ifop.prev_dest_preg is not None:
+                self.ready.release(ifop.prev_dest_preg)
+            self.stats.breakdown.record(ifop)
+            self.energy["rob_commit"] += 1
+            self._store_issued.pop(seq, None)
+            self.inflight.pop(seq, None)
+            self.commit_count += 1
+            self.stats.committed += 1
+
+    # ==================================================================
+    # completion / execution events
+    # ==================================================================
+    def _schedule(self, when: int, ifop: InFlightOp, kind: str) -> None:
+        self._event_counter += 1
+        heapq.heappush(self._events, (when, ifop.seq, self._event_counter, kind, ifop))
+
+    def _process_events(self) -> None:
+        events = self._events
+        while events and events[0][0] <= self.cycle:
+            when, seq, _, kind, ifop = heapq.heappop(events)
+            if self.inflight.get(seq) is not ifop:
+                continue  # squashed-and-refetched: stale event
+            if kind == "exec":
+                self._complete(ifop, when)
+            elif kind == "load_agu":
+                self._load_agu(ifop, when)
+            elif kind == "store_agu":
+                self._store_agu(ifop, when)
+
+    def _complete(self, ifop: InFlightOp, when: int) -> None:
+        ifop.completed = True
+        ifop.complete_cycle = when
+        if ifop.dest_preg is not None:
+            self.ready.mark_ready(ifop.dest_preg, when)
+            self.energy["prf_write"] += 1
+            self.scheduler.on_wakeup(ifop.dest_preg, when)
+        self.scheduler.on_complete(ifop, when)
+        if ifop.mispredicted and ifop.is_branch:
+            # the front end was stopped at this branch; redirect resolves now
+            self.fetch_resume_at = max(
+                self.fetch_resume_at, when + self.config.recovery_penalty
+            )
+            if self.pending_redirect == ifop.seq:
+                self.pending_redirect = None
+            # wrong-path activity: the real front end fetches/decodes down
+            # the wrong path while the branch resolves.  The trace-driven
+            # model does not execute those ops, but their fetch/decode and
+            # rename energy is real — charge it for the resolution window
+            # at the machine's fetch rate (half-rate utilisation estimate)
+            shadow = max(0, when - ifop.decode_cycle)
+            wrong_path_ops = (shadow * self.config.decode_width) // 2
+            self.energy["fetch"] += wrong_path_ops
+            self.energy["rename"] += wrong_path_ops // 2
+            self.stats.energy_events["wrongpath_ops"] += wrong_path_ops
+
+    def _load_agu(self, ifop: InFlightOp, when: int) -> None:
+        seq, addr = ifop.seq, ifop.op.mem_addr
+        forward = self.lsu.load_executing(seq, addr, when)
+        self.energy["lsq_search"] += 1
+        if forward.forwarded:
+            if forward.ready_cycle is None:
+                # matching older store has not produced its data yet: retry
+                self._schedule(when + 1, ifop, "load_agu")
+                return
+            complete_at = max(when, forward.ready_cycle) + 1
+            source = forward.source_seq
+        else:
+            result = self.hier.access_data(addr, when, pc=ifop.op.pc)
+            complete_at = result.complete_cycle
+            source = -1
+        self.lsu.load_executed(seq, when, source)
+        self._schedule(max(complete_at, when + 1), ifop, "exec")
+
+    def _store_agu(self, ifop: InFlightOp, when: int) -> None:
+        seq, addr = ifop.seq, ifop.op.mem_addr
+        violators = self.lsu.store_address_ready(seq, addr, when)
+        self.lsu.store_data_ready(seq, when)
+        ifop.completed = True
+        ifop.complete_cycle = when
+        if violators:
+            offender = violators[0]
+            victim = self.inflight.get(offender)
+            self.stats.order_violations += 1
+            if self.mdp is not None and victim is not None:
+                self.mdp.train_violation(victim.op.pc, ifop.op.pc)
+            self._squash(offender)
+
+    # ==================================================================
+    # issue
+    # ==================================================================
+    def _issue(self) -> None:
+        for ifop in self.scheduler.select(self.cycle):
+            self._do_issue(ifop)
+
+    def _do_issue(self, ifop: InFlightOp) -> None:
+        cycle = self.cycle
+        ifop.issued = True
+        ifop.issue_cycle = cycle
+        self.stats.issued += 1
+        self.energy["prf_read"] += len(ifop.src_pregs)
+        self.energy[_FU_EVENT[ifop.opcode.op_class]] += 1
+        # reconstruct when the op actually became ready (for Fig. 3c/12)
+        ready_at = ifop.dispatch_cycle
+        for preg in ifop.src_pregs:
+            ready_at = max(ready_at, self.ready.ready_cycle(preg))
+        dep = ifop.mdp_dep_seq
+        if dep is not None and dep in self._store_issued:
+            ready_at = max(ready_at, self._store_issued[dep])
+        ifop.ready_cycle = min(ready_at, cycle)
+
+        if ifop.is_load:
+            self._schedule(cycle + 1, ifop, "load_agu")
+        elif ifop.is_store:
+            if self.mdp is not None:
+                self.mdp.store_issued(ifop.op.pc, ifop.seq)
+            self._store_issued[ifop.seq] = cycle
+            self._schedule(cycle + 1, ifop, "store_agu")
+        else:
+            self._schedule(cycle + ifop.opcode.latency, ifop, "exec")
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+    def _dispatch(self) -> None:
+        cycle = self.cycle
+        dispatched = 0
+        queue = self.dispatch_queue
+        while queue and dispatched < self.config.decode_width:
+            available_at, ifop = queue[0]
+            if available_at > cycle or self.rob.full:
+                return
+            if ifop.is_load and self.lsu.lq_full():
+                return
+            if ifop.is_store and self.lsu.sq_full():
+                return
+            if not self.scheduler.can_accept(ifop):
+                return
+            queue.popleft()
+            ifop.dispatch_cycle = cycle
+            self.rob.append(ifop)
+            if ifop.is_load:
+                self.lsu.allocate_load(ifop.seq, ifop.op.pc)
+                self.energy["lsq_write"] += 1
+            elif ifop.is_store:
+                self.lsu.allocate_store(ifop.seq, ifop.op.pc)
+                self.energy["lsq_write"] += 1
+            # MDP is consulted here, adjacent to steering (the paper does
+            # both alongside rename; keeping them in the same stage stops
+            # a younger same-set store from clearing the LFST steering
+            # hint before this op's steering decision reads it)
+            if self.mdp is not None and (ifop.is_load or ifop.is_store):
+                if ifop.is_store:
+                    dep = self.mdp.store_dispatched(ifop.op.pc, ifop.seq)
+                else:
+                    dep = self.mdp.load_dispatched(ifop.op.pc)
+                self.energy["mdp_access"] += 1
+                if dep is not None and self.commit_count <= dep < ifop.seq:
+                    ifop.mdp_dep_seq = dep
+            self.scheduler.insert(ifop, cycle)
+            self.energy["dispatch"] += 1
+            self.energy["rob_write"] += 1
+            dispatched += 1
+
+    # ==================================================================
+    # rename
+    # ==================================================================
+    def _classify(self, ifop: InFlightOp) -> None:
+        """Tag the op Ld / LdC / Rst at dispatch time (paper Fig. 3c)."""
+        taint = self._taint
+        if ifop.is_load:
+            ifop.klass = "Ld"
+            if ifop.dest_preg is not None:
+                taint[ifop.dest_preg] = ifop.seq
+            return
+        alive: Optional[int] = None
+        for preg in ifop.src_pregs:
+            load_seq = taint.get(preg)
+            if load_seq is None:
+                continue
+            producer = self.inflight.get(load_seq)
+            if producer is not None and not producer.completed:
+                alive = load_seq
+                break
+        ifop.klass = "LdC" if alive is not None else "Rst"
+        if ifop.dest_preg is not None:
+            if alive is not None:
+                taint[ifop.dest_preg] = alive
+            else:
+                taint.pop(ifop.dest_preg, None)
+
+    def _rename_stage(self) -> None:
+        cycle = self.cycle
+        renamed = 0
+        queue = self.decode_queue
+        while queue and renamed < self.config.decode_width:
+            ifop = queue[0]
+            if ifop.decode_cycle + self.config.fetch_latency > cycle:
+                return
+            op = ifop.op
+            if not self.rename.can_rename(op):
+                return  # stall until physical registers free up
+            queue.popleft()
+            rename_rec = self.rename.rename(op)
+            ifop.dest_preg = rename_rec.dest_preg
+            ifop.src_pregs = rename_rec.src_pregs
+            ifop.prev_dest_preg = rename_rec.prev_dest_preg
+            ifop.dest_arch = rename_rec.dest_arch
+            if ifop.dest_preg is not None:
+                self.ready.mark_pending(ifop.dest_preg)
+            ifop.port = self.ports.assign(op.opcode.op_class)
+            self._classify(ifop)
+            self.energy["rename"] += 1
+            self.dispatch_queue.append((cycle + self.config.rename_latency, ifop))
+            renamed += 1
+
+    # ==================================================================
+    # fetch
+    # ==================================================================
+    def _fetch(self) -> None:
+        cycle = self.cycle
+        if self.pending_redirect is not None or cycle < self.fetch_resume_at:
+            return
+        fetched = 0
+        trace = self.trace
+        while (
+            fetched < self.config.decode_width
+            and self.fetch_index < len(trace)
+            and len(self.decode_queue) < self.config.alloc_queue
+        ):
+            op = trace[self.fetch_index]
+            line = (CODE_BASE + op.pc * 4) // LINE_SIZE
+            if line != self._last_ifetch_line:
+                result = self.hier.access_ifetch(op.pc, cycle)
+                self._last_ifetch_line = line
+                extra = result.complete_cycle - cycle - self.hier.l1i.latency
+                if extra > 0:
+                    self.fetch_resume_at = cycle + extra
+                    return  # I-cache miss: stall before consuming the op
+            ifop = InFlightOp(seq=op.seq, op=op, decode_cycle=cycle)
+            self.inflight[op.seq] = ifop
+            self.decode_queue.append(ifop)
+            self.energy["fetch"] += 1
+            self.fetch_index += 1
+            self.stats.fetched += 1
+            fetched += 1
+            if op.is_branch:
+                if not self._fetch_branch(ifop):
+                    return
+            elif op.opcode.name == "halt":
+                return
+
+    def _fetch_branch(self, ifop: InFlightOp) -> bool:
+        """Predict a branch at fetch; returns False if fetch must stop."""
+        op = ifop.op
+        unconditional = op.opcode.name == "jmp"
+        prediction = self.frontend.predict_branch(op.pc, unconditional)
+        self.frontend.resolve(
+            op.pc,
+            prediction,
+            bool(op.taken),
+            op.target_pc if op.taken else None,
+            unconditional,
+        )
+        direction_ok = prediction.taken == bool(op.taken)
+        if not direction_ok:
+            # full misprediction: fetch stops until the branch executes
+            self.stats.branch_mispredicts += 1
+            ifop.mispredicted = True
+            self.pending_redirect = ifop.seq
+            return False
+        if op.taken:
+            if prediction.target != op.target_pc:
+                # correct direction, BTB miss: short decode-redirect bubble
+                self.fetch_resume_at = self.cycle + 2
+            return False  # a taken branch ends the fetch group
+        return True
+
+    # ==================================================================
+    # squash (memory-order violation)
+    # ==================================================================
+    def _squash(self, from_seq: int) -> None:
+        """Squash every op with seq >= ``from_seq`` and refetch."""
+        self.stats.flushes += 1
+        # 1) pre-dispatch queues: drop (dispatch_queue ops are renamed, so
+        #    undo them youngest-first before touching the ROB's older ops)
+        undispatched = [
+            ifop for _, ifop in self.dispatch_queue if ifop.seq >= from_seq
+        ]
+        self.dispatch_queue = deque(
+            (t, ifop) for t, ifop in self.dispatch_queue if ifop.seq < from_seq
+        )
+        for ifop in sorted(undispatched, key=lambda x: -x.seq):
+            self.rename.undo_mapping(
+                ifop.dest_arch, ifop.dest_preg, ifop.prev_dest_preg
+            )
+            if ifop.dest_preg is not None:
+                self.ready.release(ifop.dest_preg)
+            self.ports.unassign(ifop.port)
+            self.energy["rat_recover"] += 1
+            self.inflight.pop(ifop.seq, None)
+        self.decode_queue = deque(
+            ifop for ifop in self.decode_queue if ifop.seq < from_seq
+        )
+        # 2) ROB walk-back (youngest first)
+        for ifop in self.rob.flush_from(from_seq):
+            self.rename.undo_mapping(
+                ifop.dest_arch, ifop.dest_preg, ifop.prev_dest_preg
+            )
+            if ifop.dest_preg is not None:
+                self.ready.release(ifop.dest_preg)
+            if not ifop.issued:
+                self.ports.unassign(ifop.port)
+            self.energy["rat_recover"] += 1
+            self.inflight.pop(ifop.seq, None)
+        # 3) scheduler and LSQ
+        self.scheduler.flush_from(from_seq)
+        for store_seq, store_pc in self.lsu.flush_from(from_seq):
+            if self.mdp is not None:
+                self.mdp.flush_store(store_pc, store_seq)
+        self._store_issued = {
+            seq: cyc for seq, cyc in self._store_issued.items() if seq < from_seq
+        }
+        # 4) drop stale inflight entries for anything younger (paranoia:
+        #    events are invalidated by identity, but the map must not leak)
+        for seq in [s for s in self.inflight if s >= from_seq]:
+            del self.inflight[seq]
+        # 5) refetch from the squashed load after the recovery penalty
+        self.fetch_index = from_seq
+        self.fetch_resume_at = max(
+            self.fetch_resume_at, self.cycle + self.config.recovery_penalty
+        )
+        if self.pending_redirect is not None and self.pending_redirect >= from_seq:
+            self.pending_redirect = None
+        self._last_ifetch_line = -1
+
+
+def simulate(trace: Trace, config: CoreConfig, max_cycles: int = 50_000_000) -> SimResult:
+    """Convenience wrapper: build a :class:`Pipeline` and run it."""
+    return Pipeline(trace, config).run(max_cycles=max_cycles)

@@ -1,0 +1,41 @@
+"""Physical-register readiness tracking.
+
+A flat scoreboard over the physical register file: for every preg, the cycle
+its value becomes available (``READY_AT_RESET`` for architectural state).
+This is the information the paper's P-SCB Ready bit carries; schedulers
+query it instead of CAM-broadcast wakeup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Sentinel for "not ready yet".
+NOT_READY = 1 << 60
+
+
+class ReadyFile:
+    """Tracks readiness (and ready cycle) of each physical register."""
+
+    def __init__(self, num_phys: int):
+        self.num_phys = num_phys
+        self._ready_cycle: List[int] = [0] * num_phys
+
+    def is_ready(self, preg: int, cycle: int) -> bool:
+        return self._ready_cycle[preg] <= cycle
+
+    def ready_cycle(self, preg: int) -> int:
+        """Cycle the preg became (or will become) ready; NOT_READY if unknown."""
+        return self._ready_cycle[preg]
+
+    def mark_pending(self, preg: int) -> None:
+        """A rename allocated ``preg``: its value is now in flight."""
+        self._ready_cycle[preg] = NOT_READY
+
+    def mark_ready(self, preg: int, cycle: int) -> None:
+        self._ready_cycle[preg] = cycle
+
+    def release(self, preg: int) -> None:
+        """Returned to the free list (commit or flush): treat as ready so
+        stale queries never block (it cannot be read until reallocated)."""
+        self._ready_cycle[preg] = 0

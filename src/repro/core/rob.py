@@ -1,0 +1,54 @@
+"""Reorder buffer: in-order retirement and squash support."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from .ifop import InFlightOp
+
+
+class ReorderBuffer:
+    """A FIFO of in-flight ops retiring in order from the head.
+
+    Ops are appended at dispatch and removed either by commit (head, in
+    order) or by a flush (tail-first squash back to a sequence number).
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self._entries: Deque[InFlightOp] = deque()
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def head(self) -> InFlightOp | None:
+        return self._entries[0] if self._entries else None
+
+    def append(self, ifop: InFlightOp) -> None:
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        self._entries.append(ifop)
+        if len(self._entries) > self.max_occupancy:
+            self.max_occupancy = len(self._entries)
+
+    def commit_ready(self) -> bool:
+        """True if the head op has completed execution."""
+        return bool(self._entries) and self._entries[0].completed
+
+    def pop_head(self) -> InFlightOp:
+        return self._entries.popleft()
+
+    def flush_from(self, seq: int) -> List[InFlightOp]:
+        """Squash every op with ``op.seq >= seq``; youngest first (so the
+        rename unit can walk its recovery log backwards)."""
+        squashed: List[InFlightOp] = []
+        while self._entries and self._entries[-1].seq >= seq:
+            squashed.append(self._entries.pop())
+        return squashed

@@ -1,0 +1,22 @@
+"""Energy modelling: event-based core energy + DVFS scaling."""
+
+from .dvfs import DVFS_LEVELS, DVFSPoint, evaluate_level, sweep_levels
+from .model import (
+    CATEGORIES,
+    DEFAULT_EVENT_ENERGY,
+    EnergyModel,
+    EnergyReport,
+    LeakageParams,
+)
+
+__all__ = [
+    "DVFS_LEVELS",
+    "DVFSPoint",
+    "evaluate_level",
+    "sweep_levels",
+    "CATEGORIES",
+    "DEFAULT_EVENT_ENERGY",
+    "EnergyModel",
+    "EnergyReport",
+    "LeakageParams",
+]

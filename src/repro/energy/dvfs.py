@@ -1,0 +1,86 @@
+"""DVFS operating points (paper §VI-E2, Figure 17b).
+
+Four frequency/voltage levels from the paper:
+
+====  =========  ========
+name  frequency  voltage
+====  =========  ========
+L4    3.4 GHz    1.04 V
+L3    3.2 GHz    1.01 V
+L2    3.0 GHz    0.98 V
+L1    2.8 GHz    0.96 V
+====  =========  ========
+
+Scaling model: dynamic energy scales with V^2, leakage power with V, and
+execution time with 1/f.  Cycle counts are reused across levels — memory
+latency in cycles is held constant, a simplification noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.config import CoreConfig
+from ..core.stats import SimResult
+from .model import EnergyModel, EnergyReport
+
+#: level name -> (frequency GHz, voltage V), from the paper.
+DVFS_LEVELS: Dict[str, Tuple[float, float]] = {
+    "L4": (3.4, 1.04),
+    "L3": (3.2, 1.01),
+    "L2": (3.0, 0.98),
+    "L1": (2.8, 0.96),
+}
+
+
+@dataclass
+class DVFSPoint:
+    """One (level, design) evaluation for Figure 17b."""
+
+    level: str
+    frequency_ghz: float
+    voltage: float
+    seconds: float
+    energy_joules: float
+
+    @property
+    def power_watts(self) -> float:
+        return self.energy_joules / self.seconds if self.seconds else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """1 / EDP."""
+        product = self.energy_joules * self.seconds
+        return 1.0 / product if product else 0.0
+
+
+def evaluate_level(
+    result: SimResult,
+    config: CoreConfig,
+    level: str,
+    model: EnergyModel = None,
+) -> DVFSPoint:
+    """Re-evaluate a run's time/energy at one of the paper's DVFS levels."""
+    frequency, voltage = DVFS_LEVELS[level]
+    model = model if model is not None else EnergyModel()
+    report: EnergyReport = model.evaluate(
+        result, config, frequency_ghz=frequency, voltage=voltage
+    )
+    return DVFSPoint(
+        level=level,
+        frequency_ghz=frequency,
+        voltage=voltage,
+        seconds=report.seconds,
+        energy_joules=report.total_joules,
+    )
+
+
+def sweep_levels(
+    result: SimResult, config: CoreConfig, model: EnergyModel = None
+) -> Dict[str, DVFSPoint]:
+    """Evaluate a run at all four paper levels."""
+    return {
+        level: evaluate_level(result, config, level, model)
+        for level in DVFS_LEVELS
+    }

@@ -1,0 +1,207 @@
+"""Event-based core energy model (McPAT substitute).
+
+Energy = sum over architectural events of a per-event energy, plus leakage
+proportional to structure sizes and elapsed cycles.  The per-event values
+are calibrated so that component *ratios* track the paper's Figure 15
+breakdown (e.g. scheduling is ~20% of an out-of-order core's energy, and
+the complexity difference between a 96-entry CAM wakeup and Ballerino's
+head-only examination falls out of the event counts themselves):
+
+* OoO wakeup broadcasts one CAM compare per IQ entry per completing op;
+  Ballerino/CES wake only the handful of FIFO heads.
+* Select energy scales with the number of prefix-sum inputs actually
+  examined (96 for the unified IQ, ``num P-IQs + window`` for Ballerino).
+* CASINO pays an extra queue write per inter-queue copy.
+
+All values are picojoules at the nominal 22 nm, 1.04 V operating point;
+:mod:`repro.energy.dvfs` scales them for other frequency/voltage levels.
+
+The report buckets events into the paper's nine Figure 15 categories:
+L1 I/D$, Fetch/Decode, Rename, Steer, MDP, Schedule, LSQ, PRF, FUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..core.config import CoreConfig
+from ..core.stats import SimResult
+
+#: Figure 15's component categories, in the paper's stacking order.
+CATEGORIES = (
+    "L1 I/D$",
+    "Fetch/Decode",
+    "Rename",
+    "Steer",
+    "MDP",
+    "Schedule",
+    "LSQ",
+    "PRF",
+    "FUs",
+)
+
+#: event name -> (category, energy in pJ per event)
+DEFAULT_EVENT_ENERGY: Dict[str, tuple] = {
+    "l1i": ("L1 I/D$", 16.0),
+    "l1d": ("L1 I/D$", 22.0),
+    "fetch": ("Fetch/Decode", 9.0),
+    "rename": ("Rename", 7.0),
+    "rat_recover": ("Rename", 2.0),
+    "steer": ("Steer", 0.6),
+    "pscb_read": ("Steer", 0.35),
+    "pscb_write": ("Steer", 0.35),
+    "mdp_access": ("MDP", 1.2),
+    "dispatch": ("Schedule", 1.0),
+    "iq_write": ("Schedule", 2.2),
+    "iq_read": ("Schedule", 1.6),
+    "wakeup_cam": ("Schedule", 0.18),  # per CAM tag compare
+    "select_input": ("Schedule", 0.10),  # per prefix-sum input examined
+    "rob_write": ("Schedule", 1.8),
+    "rob_commit": ("Schedule", 1.8),
+    "lsq_write": ("LSQ", 2.0),
+    "lsq_search": ("LSQ", 3.0),
+    "prf_read": ("PRF", 1.3),
+    "prf_write": ("PRF", 1.6),
+    "fu_int": ("FUs", 5.0),
+    "fu_mul": ("FUs", 14.0),
+    "fu_div": ("FUs", 32.0),
+    "fu_fp": ("FUs", 18.0),
+    "fu_agu": ("FUs", 4.0),
+    "fu_branch": ("FUs", 3.0),
+}
+
+
+@dataclass(frozen=True)
+class LeakageParams:
+    """Static power coefficients, in pJ per cycle.
+
+    Structure leakage scales with entry counts so that e.g. a 96-entry IQ
+    leaks more than twelve 12-entry FIFOs' worth of pointers and a P-SCB.
+    """
+
+    per_iq_entry: float = 0.020
+    per_rob_entry: float = 0.012
+    per_preg: float = 0.010
+    per_lsq_entry: float = 0.014
+    frontend: float = 3.0
+    l1_caches: float = 4.0
+    fus_per_port: float = 0.8
+
+
+@dataclass
+class EnergyReport:
+    """Core-wide energy for one simulation, by Figure 15 category."""
+
+    categories: Dict[str, float]  # pJ per category
+    cycles: int
+    committed: int
+    seconds: float
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.categories.values())
+
+    @property
+    def total_joules(self) -> float:
+        return self.total_pj * 1e-12
+
+    @property
+    def energy_per_instruction_pj(self) -> float:
+        return self.total_pj / self.committed if self.committed else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.total_joules * self.seconds
+
+    @property
+    def efficiency(self) -> float:
+        """Performance per energy = 1 / EDP (the paper's Figure 16 metric)."""
+        return 1.0 / self.edp if self.edp else 0.0
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_pj or 1.0
+        return {k: v / total for k, v in self.categories.items()}
+
+
+def _window_entries(config: CoreConfig) -> int:
+    """Total scheduling-window entries for leakage purposes."""
+    params = config.scheduler
+    if params.kind in ("inorder", "ooo"):
+        return params.iq_size
+    if params.kind == "ces":
+        return params.num_piqs * params.piq_size
+    if params.kind == "casino":
+        return sum(params.casino_queues)
+    if params.kind == "fxa":
+        return params.iq_size + params.ixu_depth * config.decode_width
+    if params.kind == "ballerino":
+        return params.siq_size + params.num_piqs * params.piq_size
+    if params.kind == "dnb":
+        return params.iq_size + params.siq_size + params.num_piqs * params.piq_size
+    if params.kind == "spq":
+        return params.num_piqs * params.piq_size
+    raise ValueError(params.kind)
+
+
+class EnergyModel:
+    """Maps a :class:`SimResult`'s event counts to core energy."""
+
+    def __init__(
+        self,
+        event_energy: Mapping[str, tuple] = None,
+        leakage: LeakageParams = LeakageParams(),
+    ):
+        self.event_energy = dict(
+            event_energy if event_energy is not None else DEFAULT_EVENT_ENERGY
+        )
+        self.leakage = leakage
+
+    def evaluate(
+        self,
+        result: SimResult,
+        config: CoreConfig,
+        frequency_ghz: float = None,
+        voltage: float = None,
+    ) -> EnergyReport:
+        """Compute the energy report for one run.
+
+        ``frequency_ghz`` / ``voltage`` override the config's operating
+        point (dynamic energy scales with V^2, leakage power with V; see
+        :mod:`repro.energy.dvfs`).
+        """
+        freq = frequency_ghz if frequency_ghz is not None else config.frequency_ghz
+        volt = voltage if voltage is not None else config.voltage
+        v_scale_dyn = (volt / 1.04) ** 2
+        v_scale_leak = volt / 1.04
+
+        categories: Dict[str, float] = {name: 0.0 for name in CATEGORIES}
+        for event, count in result.stats.energy_events.items():
+            spec = self.event_energy.get(event)
+            if spec is None:
+                continue  # events outside the core (l2/l3/dram)
+            category, pj = spec
+            categories[category] += pj * count * v_scale_dyn
+
+        leak = self.leakage
+        cycles = result.stats.cycles
+        static = {
+            "Schedule": leak.per_iq_entry * _window_entries(config)
+            + leak.per_rob_entry * config.rob_size,
+            "PRF": leak.per_preg * (config.phys_int + config.phys_fp),
+            "LSQ": leak.per_lsq_entry * (config.lq_size + config.sq_size),
+            "Fetch/Decode": leak.frontend,
+            "L1 I/D$": leak.l1_caches,
+            "FUs": leak.fus_per_port * config.issue_width,
+        }
+        for category, pj_per_cycle in static.items():
+            categories[category] += pj_per_cycle * cycles * v_scale_leak
+
+        seconds = cycles / (freq * 1e9)
+        return EnergyReport(
+            categories=categories,
+            cycles=cycles,
+            committed=result.stats.committed,
+            seconds=seconds,
+        )

@@ -1,0 +1,21 @@
+"""Front end: branch prediction structures."""
+
+from .branch_predictor import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    BranchTargetBuffer,
+    FrontEnd,
+    FrontEndPrediction,
+    TagePredictor,
+)
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchTargetBuffer",
+    "FrontEnd",
+    "FrontEndPrediction",
+    "TagePredictor",
+]

@@ -1,0 +1,35 @@
+"""Micro-op ISA: opcodes, registers, static and dynamic instructions."""
+
+from .instruction import DynOp, Instruction
+from .opcodes import OPCODES, OpClass, Opcode, opcode
+from .registers import (
+    F,
+    NUM_ARCH_REGS,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    R,
+    ZERO,
+    fp_reg,
+    int_reg,
+    is_fp,
+    reg_name,
+)
+
+__all__ = [
+    "DynOp",
+    "Instruction",
+    "OPCODES",
+    "OpClass",
+    "Opcode",
+    "opcode",
+    "F",
+    "R",
+    "ZERO",
+    "NUM_ARCH_REGS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "fp_reg",
+    "int_reg",
+    "is_fp",
+    "reg_name",
+]

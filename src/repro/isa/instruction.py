@@ -1,0 +1,115 @@
+"""Static instructions and dynamic micro-ops.
+
+Two representations are used throughout the library:
+
+* :class:`Instruction` — one *static* instruction of a program, produced by
+  the :class:`~repro.workloads.program.ProgramBuilder` DSL.
+* :class:`DynOp` — one *dynamic* micro-op in an execution trace, produced by
+  the functional executor.  ``DynOp`` records everything the timing model
+  needs (resolved memory address, branch outcome) and is immutable so that a
+  trace can be replayed by many scheduler configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import Opcode
+from .registers import reg_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        opcode: The :class:`~repro.isa.opcodes.Opcode`.
+        dest: Destination architectural register or ``None``.
+        srcs: Source architectural registers (address operands included).
+        imm: Immediate operand (also the memory offset for loads/stores).
+        target: Branch-target label, resolved to a pc by the assembler.
+        pc: Program counter assigned by the assembler.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: int = 0
+    target: Optional[str] = None
+    pc: int = -1
+
+    def __str__(self) -> str:
+        parts = [self.opcode.name]
+        if self.dest is not None:
+            parts.append(reg_name(self.dest))
+        parts.extend(reg_name(s) for s in self.srcs)
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class DynOp:
+    """One dynamic micro-op in an execution trace.
+
+    Attributes:
+        seq: Position in the dynamic stream (0-based, increasing).
+        pc: Program counter of the static instruction.
+        opcode: The :class:`~repro.isa.opcodes.Opcode`.
+        dest: Destination architectural register or ``None``.
+        srcs: Source architectural registers.
+        mem_addr: Byte address touched, for loads/stores.
+        mem_size: Access size in bytes.
+        taken: Branch outcome (``None`` for non-branches).
+        target_pc: pc executed next if the branch is taken.
+        fallthrough_pc: pc executed next if not taken (``pc + 1``).
+    """
+
+    seq: int
+    pc: int
+    opcode: Opcode
+    dest: Optional[int]
+    srcs: Tuple[int, ...]
+    mem_addr: Optional[int] = None
+    mem_size: int = 8
+    taken: Optional[bool] = None
+    target_pc: Optional[int] = None
+    fallthrough_pc: Optional[int] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode.reads_memory
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode.writes_memory
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.op_class.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.is_branch
+
+    @property
+    def next_pc(self) -> Optional[int]:
+        """The pc that actually follows this op in the dynamic stream."""
+        if self.is_branch:
+            return self.target_pc if self.taken else self.fallthrough_pc
+        return self.fallthrough_pc
+
+    def __str__(self) -> str:
+        base = f"[{self.seq}] pc={self.pc} {self.opcode.name}"
+        if self.dest is not None:
+            base += f" {reg_name(self.dest)}<-"
+        if self.srcs:
+            base += "(" + ",".join(reg_name(s) for s in self.srcs) + ")"
+        if self.mem_addr is not None:
+            base += f" @0x{self.mem_addr:x}"
+        if self.taken is not None:
+            base += " taken" if self.taken else " not-taken"
+        return base

@@ -1,0 +1,73 @@
+"""Architectural register namespace.
+
+The ISA exposes 32 integer registers (``r0`` .. ``r31``; ``r0`` is hard-wired
+to zero, as in most RISC machines) and 32 floating-point registers (``f0`` ..
+``f31``).  Registers are represented as small integers so that rename tables
+and scoreboards can be flat lists: integer register *i* is value *i*, floating
+register *i* is value ``32 + i``.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: The always-zero integer register.
+ZERO = 0
+
+
+def int_reg(index: int) -> int:
+    """Return the architectural id of integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Return the architectural id of floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return NUM_INT_REGS + index
+
+
+def is_fp(reg: int) -> bool:
+    """True if ``reg`` names a floating-point architectural register."""
+    return reg >= NUM_INT_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7`` / ``f3``) for an architectural register id."""
+    if not 0 <= reg < NUM_ARCH_REGS:
+        raise ValueError(f"architectural register out of range: {reg}")
+    if is_fp(reg):
+        return f"f{reg - NUM_INT_REGS}"
+    return f"r{reg}"
+
+
+class _RegNamespace:
+    """Attribute-style access to register ids: ``R.r5`` or ``R[5]``."""
+
+    def __init__(self, prefix: str, base: int, count: int):
+        self._prefix = prefix
+        self._base = base
+        self._count = count
+
+    def __getitem__(self, index: int) -> int:
+        if not 0 <= index < self._count:
+            raise IndexError(f"{self._prefix} register index out of range: {index}")
+        return self._base + index
+
+    def __getattr__(self, name: str) -> int:
+        if name.startswith(self._prefix):
+            try:
+                return self[int(name[len(self._prefix):])]
+            except ValueError:
+                pass
+        raise AttributeError(name)
+
+
+#: ``R[i]`` / ``R.r3`` -> integer register ids.
+R = _RegNamespace("r", 0, NUM_INT_REGS)
+#: ``F[i]`` / ``F.f3`` -> floating-point register ids.
+F = _RegNamespace("f", NUM_INT_REGS, NUM_FP_REGS)

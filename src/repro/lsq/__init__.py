@@ -1,0 +1,13 @@
+"""Load/store queues and memory dependence prediction."""
+
+from .mdp import LFSTEntry, StoreSetPredictor
+from .queues import ForwardResult, LoadEntry, LoadStoreUnit, StoreEntry
+
+__all__ = [
+    "LFSTEntry",
+    "StoreSetPredictor",
+    "ForwardResult",
+    "LoadEntry",
+    "LoadStoreUnit",
+    "StoreEntry",
+]

@@ -1,0 +1,175 @@
+"""Memory dependence prediction with store sets (Chrysos & Emer).
+
+Two structures, per the paper (Table I: 1024-entry SSIT, 7-bit SSID):
+
+* **SSIT** — store-set identifier table, indexed by instruction pc.  A load
+  and the stores it has ever collided with share an SSID.
+* **LFST** — last fetched store table, indexed by SSID.  Holds the most
+  recently dispatched, still-in-flight store of the set; a dispatching load
+  (or store) in the same set becomes dependent on it, serialising the pair
+  and preventing the order violation from recurring.
+
+For Ballerino's M-dependence-aware steering (paper §IV-C), each LFST entry
+additionally tracks the *steering location* of the producer store — the
+P-IQ index it was steered to and a Reserved bit — so a consumer load can be
+steered into the same P-IQ, overriding its register dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class LFSTEntry:
+    """One last-fetched-store entry (+ Ballerino steering extension)."""
+
+    store_seq: int = -1  # dynamic seq of the most recent in-flight store
+    store_pc: int = -1
+    valid: bool = False
+    # --- Ballerino extension: producer steering location ---
+    iq_index: Optional[int] = None
+    partition: int = 0
+    reserved: bool = False
+
+
+class StoreSetPredictor:
+    """Store-set MDP with the LFST steering extension.
+
+    Args:
+        ssit_entries: SSIT size (power of two).
+        num_ssids: Number of store sets (2**ssid_bits).
+    """
+
+    def __init__(self, ssit_entries: int = 1024, num_ssids: int = 128):
+        if ssit_entries & (ssit_entries - 1):
+            raise ValueError("ssit_entries must be a power of two")
+        self._ssit_mask = ssit_entries - 1
+        self.num_ssids = num_ssids
+        self._ssit: Dict[int, int] = {}  # pc-index -> ssid
+        self._lfst: Dict[int, LFSTEntry] = {}  # ssid -> entry
+        self._next_ssid = 0
+        self.violations_trained = 0
+        self.lookups = 0
+        self.dependences_imposed = 0
+
+    # ------------------------------------------------------------------
+    def _ssit_index(self, pc: int) -> int:
+        return pc & self._ssit_mask
+
+    def ssid_of(self, pc: int) -> Optional[int]:
+        return self._ssit.get(self._ssit_index(pc))
+
+    def _alloc_ssid(self) -> int:
+        ssid = self._next_ssid
+        self._next_ssid = (self._next_ssid + 1) % self.num_ssids
+        return ssid
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_violation(self, load_pc: int, store_pc: int) -> None:
+        """Record a memory-order violation between a load and its producer."""
+        self.violations_trained += 1
+        li, si = self._ssit_index(load_pc), self._ssit_index(store_pc)
+        load_ssid, store_ssid = self._ssit.get(li), self._ssit.get(si)
+        if load_ssid is None and store_ssid is None:
+            ssid = self._alloc_ssid()
+        elif load_ssid is None:
+            ssid = store_ssid
+        elif store_ssid is None:
+            ssid = load_ssid
+        else:
+            ssid = min(load_ssid, store_ssid)  # merge rule from the paper
+        self._ssit[li] = ssid
+        self._ssit[si] = ssid
+
+    # ------------------------------------------------------------------
+    # dispatch-time lookups
+    # ------------------------------------------------------------------
+    def store_dispatched(self, pc: int, seq: int) -> Optional[int]:
+        """A store enters the window; returns the seq it must follow, if any.
+
+        Also installs this store as the set's last fetched store.
+        """
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return None
+        self.lookups += 1
+        entry = self._lfst.setdefault(ssid, LFSTEntry())
+        dep = entry.store_seq if entry.valid else None
+        entry.store_seq = seq
+        entry.store_pc = pc
+        entry.valid = True
+        entry.iq_index = None
+        entry.partition = 0
+        entry.reserved = False
+        if dep is not None:
+            self.dependences_imposed += 1
+        return dep
+
+    def load_dispatched(self, pc: int) -> Optional[int]:
+        """A load enters the window; returns the producer store seq, if any."""
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return None
+        self.lookups += 1
+        entry = self._lfst.get(ssid)
+        if entry is not None and entry.valid:
+            self.dependences_imposed += 1
+            return entry.store_seq
+        return None
+
+    # ------------------------------------------------------------------
+    # Ballerino MDA-steering extension
+    # ------------------------------------------------------------------
+    def record_store_steering(
+        self, pc: int, seq: int, iq_index: int, partition: int = 0
+    ) -> None:
+        """Remember where the set's last store was steered (paper §IV-C)."""
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return
+        entry = self._lfst.get(ssid)
+        if entry is not None and entry.valid and entry.store_seq == seq:
+            entry.iq_index = iq_index
+            entry.partition = partition
+            entry.reserved = False
+
+    def steering_hint(self, pc: int) -> Optional[LFSTEntry]:
+        """Steering location of the producer store for a dispatching load.
+
+        Returns the LFST entry if the producer store is in flight, steered,
+        and no other consumer has reserved its P-IQ tail yet.
+        """
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return None
+        entry = self._lfst.get(ssid)
+        if (
+            entry is not None
+            and entry.valid
+            and entry.iq_index is not None
+            and not entry.reserved
+        ):
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # release / recovery
+    # ------------------------------------------------------------------
+    def store_issued(self, pc: int, seq: int) -> None:
+        """The set's last store issued: release the LFST entry."""
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return
+        entry = self._lfst.get(ssid)
+        if entry is not None and entry.valid and entry.store_seq == seq:
+            entry.valid = False
+            entry.iq_index = None
+            entry.reserved = False
+
+    def flush_store(self, pc: int, seq: int) -> None:
+        """A squashed store clears its LFST entry if it made the last update."""
+        self.store_issued(pc, seq)

@@ -1,0 +1,21 @@
+"""Memory system: caches, MSHRs, prefetcher, DRAM, hierarchy glue."""
+
+from .cache import Cache, CacheStats, LINE_SIZE
+from .dram import DRAM, DRAMTimings
+from .hierarchy import AccessResult, CODE_BASE, HierarchyConfig, MemoryHierarchy
+from .mshr import MSHRFile
+from .prefetcher import StridePrefetcher
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "LINE_SIZE",
+    "DRAM",
+    "DRAMTimings",
+    "AccessResult",
+    "CODE_BASE",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "MSHRFile",
+    "StridePrefetcher",
+]

@@ -1,0 +1,103 @@
+"""Set-associative cache model with in-flight fill tracking.
+
+The timing simulators are cycle-driven but memory latency is computed at
+access time: a lookup returns the cycle at which the data is available.  Each
+resident line remembers its *fill time*, so an access that hits a line still
+in flight (an MSHR merge in real hardware) completes when the original miss
+does — this is what lets independent misses overlap (MLP) while dependent
+accesses serialise.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+LINE_SIZE = 64
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of a write-back, write-allocate cache hierarchy.
+
+    Args:
+        name: Label used in stats and energy accounting (``"l1d"`` etc.).
+        size_bytes: Total capacity.
+        assoc: Associativity.
+        latency: Hit latency in cycles.
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int, latency: int):
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.latency = latency
+        self.num_sets = max(1, size_bytes // (LINE_SIZE * assoc))
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count must be a power of two")
+        # per set: OrderedDict line_tag -> fill_time, LRU order (oldest first)
+        self._sets: Tuple[OrderedDict, ...] = tuple(
+            OrderedDict() for _ in range(self.num_sets)
+        )
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _set_for(self, line: int) -> OrderedDict:
+        return self._sets[line & (self.num_sets - 1)]
+
+    def probe(self, line: int) -> Optional[int]:
+        """Return the line's fill time if resident (without LRU update)."""
+        return self._set_for(line).get(line)
+
+    def lookup(self, line: int) -> Optional[int]:
+        """LRU-updating lookup: fill time if the line is resident, else None."""
+        entries = self._set_for(line)
+        fill_time = entries.get(line)
+        if fill_time is None:
+            self.stats.misses += 1
+            return None
+        entries.move_to_end(line)
+        self.stats.hits += 1
+        return fill_time
+
+    def fill(self, line: int, fill_time: int, prefetch: bool = False) -> Optional[int]:
+        """Insert ``line`` (available at ``fill_time``); return evicted line."""
+        entries = self._set_for(line)
+        evicted = None
+        if line in entries:
+            # keep the earlier availability if the line is already in flight
+            entries[line] = min(entries[line], fill_time)
+            entries.move_to_end(line)
+        else:
+            if len(entries) >= self.assoc:
+                evicted, _ = entries.popitem(last=False)
+                self.stats.evictions += 1
+            entries[line] = fill_time
+        if prefetch:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def invalidate(self, line: int) -> None:
+        self._set_for(line).pop(line, None)
+
+    def resident_lines(self) -> int:
+        """Total lines currently resident (for occupancy tests)."""
+        return sum(len(entries) for entries in self._sets)

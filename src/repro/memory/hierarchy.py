@@ -1,0 +1,188 @@
+"""Three-level cache hierarchy + DRAM, glued together.
+
+Latency composition is computed at access time: every access returns the
+cycle at which its data is available to the core.  Lines in flight are
+resident-with-future-fill-time, so overlapping misses behave like MSHR
+merges, and MSHR files bound the per-level miss parallelism.
+
+Configuration defaults follow paper Table I:
+
+* L1 I/D: 32 KiB 8-way, 4-cycle, 8 MSHRs, stride prefetcher on the D-side
+* L2: 256 KiB 8-way, 12-cycle, 32 MSHRs
+* L3: 1 MiB 4-way, 42-cycle, 64 MSHRs
+* DRAM: DDR4-2400-like bank/row model
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cache import Cache, LINE_SIZE
+from .dram import DRAM, DRAMTimings
+from .mshr import MSHRFile
+from .prefetcher import StridePrefetcher
+
+#: Instruction fetches are mapped into this address region (one 4-byte slot
+#: per static pc) so they exercise the L1I without aliasing data regions.
+CODE_BASE = 0x4000_0000
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Sizes/latencies for the cache hierarchy (paper Table I defaults)."""
+
+    l1_size: int = 32 * 1024
+    l1_assoc: int = 8
+    l1_latency: int = 4
+    l1_mshrs: int = 8
+    l2_size: int = 256 * 1024
+    l2_assoc: int = 8
+    l2_latency: int = 12
+    l2_mshrs: int = 32
+    l3_size: int = 1024 * 1024
+    l3_assoc: int = 4
+    l3_latency: int = 42
+    l3_mshrs: int = 64
+    prefetch: bool = True
+
+
+@dataclass
+class AccessResult:
+    """Timing outcome of one memory access."""
+
+    complete_cycle: int
+    level: str  # "l1" / "l2" / "l3" / "dram" — where the data was found
+
+
+class MemoryHierarchy:
+    """The full data/instruction memory system for one simulated core."""
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig()):
+        self.config = config
+        c = config
+        self.l1i = Cache("l1i", c.l1_size, c.l1_assoc, c.l1_latency)
+        self.l1d = Cache("l1d", c.l1_size, c.l1_assoc, c.l1_latency)
+        self.l2 = Cache("l2", c.l2_size, c.l2_assoc, c.l2_latency)
+        self.l3 = Cache("l3", c.l3_size, c.l3_assoc, c.l3_latency)
+        self.dram = DRAM(DRAMTimings())
+        self.mshrs = {
+            "l1i": MSHRFile(c.l1_mshrs),
+            "l1d": MSHRFile(c.l1_mshrs),
+            "l2": MSHRFile(c.l2_mshrs),
+            "l3": MSHRFile(c.l3_mshrs),
+        }
+        self.prefetcher = StridePrefetcher() if c.prefetch else None
+        #: per-structure access counts consumed by the energy model
+        self.events: Dict[str, int] = {
+            "l1i": 0, "l1d": 0, "l2": 0, "l3": 0, "dram": 0
+        }
+
+    # ------------------------------------------------------------------
+    # internal recursive fetch
+    # ------------------------------------------------------------------
+    def _fetch_line(
+        self, chain: List[Tuple[Cache, MSHRFile]], line: int, cycle: int,
+        addr: int, count_events: bool = True,
+    ) -> Tuple[int, str]:
+        """Fetch ``line`` through the remaining cache ``chain``.
+
+        Returns ``(data_available_cycle, level_found)``.
+        """
+        if not chain:
+            if count_events:
+                self.events["dram"] += 1
+            return self.dram.access(addr, cycle), "dram"
+        (cache, mshr), rest = chain[0], chain[1:]
+        if count_events:
+            self.events[cache.name] += 1
+        fill_time = cache.lookup(line)
+        if fill_time is not None:
+            return max(cycle, fill_time) + cache.latency, cache.name
+        merged = mshr.lookup(line, cycle)
+        if merged is not None:
+            return max(cycle, merged) + cache.latency, cache.name
+        start = mshr.earliest_free(cycle) + cache.latency  # tag check + queue
+        completion, level = self._fetch_line(rest, line, start, addr, count_events)
+        mshr.allocate(line, completion)
+        cache.fill(line, completion)
+        return completion + 1, level  # +1: fill-to-use forwarding
+
+    # ------------------------------------------------------------------
+    # public access points
+    # ------------------------------------------------------------------
+    def access_data(
+        self, addr: int, cycle: int, is_write: bool = False, pc: int = 0
+    ) -> AccessResult:
+        """A load/store data access; returns when the data is available."""
+        line = addr // LINE_SIZE
+        chain = [
+            (self.l1d, self.mshrs["l1d"]),
+            (self.l2, self.mshrs["l2"]),
+            (self.l3, self.mshrs["l3"]),
+        ]
+        complete, level = self._fetch_line(chain, line, cycle, addr)
+        if self.prefetcher is not None and not is_write:
+            for pf_addr in self.prefetcher.train(pc, addr):
+                self._prefetch(pf_addr, cycle)
+        return AccessResult(complete_cycle=complete, level=level)
+
+    def _prefetch(self, addr: int, cycle: int) -> None:
+        """Issue a prefetch into the L1D (does not block the core)."""
+        line = addr // LINE_SIZE
+        if self.l1d.probe(line) is not None:
+            return
+        if self.mshrs["l1d"].lookup(line, cycle) is not None:
+            return
+        chain = [
+            (self.l2, self.mshrs["l2"]),
+            (self.l3, self.mshrs["l3"]),
+        ]
+        completion, _ = self._fetch_line(
+            chain, line, cycle + self.l1d.latency, addr, count_events=True
+        )
+        self.l1d.fill(line, completion, prefetch=True)
+
+    def access_ifetch(self, pc: int, cycle: int) -> AccessResult:
+        """An instruction fetch for the cache line holding ``pc``.
+
+        A next-line prefetch is issued alongside every fetch (sequential
+        instruction prefetching), so straight-line code pipelines its
+        I-cache misses instead of serialising on them.
+        """
+        addr = CODE_BASE + pc * 4
+        line = addr // LINE_SIZE
+        chain = [
+            (self.l1i, self.mshrs["l1i"]),
+            (self.l2, self.mshrs["l2"]),
+            (self.l3, self.mshrs["l3"]),
+        ]
+        complete, level = self._fetch_line(chain, line, cycle, addr)
+        next_line = line + 1
+        if (
+            self.l1i.probe(next_line) is None
+            and self.mshrs["l1i"].lookup(next_line, cycle) is None
+        ):
+            next_addr = next_line * LINE_SIZE
+            nl_complete, _ = self._fetch_line(
+                chain[1:], next_line, cycle + self.l1i.latency, next_addr
+            )
+            self.mshrs["l1i"].allocate(next_line, nl_complete)
+            self.l1i.fill(next_line, nl_complete, prefetch=True)
+        return AccessResult(complete_cycle=complete, level=level)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-level hit/miss statistics plus DRAM row behaviour."""
+        out: Dict[str, Dict[str, float]] = {}
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            out[cache.name] = {
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "miss_rate": round(cache.stats.miss_rate, 4),
+            }
+        out["dram"] = {
+            "accesses": self.dram.accesses,
+            "row_hit_rate": round(self.dram.row_hit_rate, 4),
+        }
+        return out

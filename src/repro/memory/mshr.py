@@ -1,0 +1,76 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses a cache can sustain —
+the structural limit on memory-level parallelism.  Misses to a line already
+outstanding *merge* (no new MSHR); when the file is full, a new miss must
+wait for the earliest outstanding miss to complete.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+
+class MSHRFile:
+    """Tracks outstanding misses for one cache level.
+
+    Args:
+        capacity: Number of simultaneous outstanding (distinct-line) misses.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._by_line: Dict[int, int] = {}  # line -> completion cycle
+        self._heap: List[tuple] = []  # (completion, line)
+        self.merges = 0
+        self.full_stalls = 0
+
+    def _reap(self, cycle: int) -> None:
+        while self._heap and self._heap[0][0] <= cycle:
+            completion, line = heapq.heappop(self._heap)
+            if self._by_line.get(line) == completion:
+                del self._by_line[line]
+
+    def outstanding(self, cycle: int) -> int:
+        """Number of misses in flight (or queued behind a full file).
+
+        When the file is full a new miss is timed to *start* at the earliest
+        outstanding completion (see :meth:`earliest_free`) but is recorded
+        immediately, so this count can transiently exceed ``capacity`` —
+        the timing invariant (no more than ``capacity`` misses in service
+        at once) is enforced through the start times, not this counter.
+        """
+        self._reap(cycle)
+        return len(self._by_line)
+
+    def lookup(self, line: int, cycle: int) -> int | None:
+        """If ``line`` is already in flight, return its completion cycle."""
+        self._reap(cycle)
+        completion = self._by_line.get(line)
+        if completion is not None:
+            self.merges += 1
+        return completion
+
+    def earliest_free(self, cycle: int) -> int:
+        """Earliest cycle at which a new MSHR can be allocated.
+
+        With ``q`` misses already recorded, the new one must wait for the
+        ``(q - capacity + 1)``-th earliest completion — each queued miss
+        consumes one freed slot in completion order.
+        """
+        self._reap(cycle)
+        queued = len(self._by_line)
+        if queued < self.capacity:
+            return cycle
+        self.full_stalls += 1
+        need = queued - self.capacity + 1
+        completions = sorted(self._by_line.values())
+        return completions[need - 1]
+
+    def allocate(self, line: int, completion: int) -> None:
+        """Record a new outstanding miss for ``line``."""
+        self._by_line[line] = completion
+        heapq.heappush(self._heap, (completion, line))

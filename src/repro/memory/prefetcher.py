@@ -1,0 +1,75 @@
+"""Stride-based hardware prefetcher (per-PC reference prediction table).
+
+Matches the paper's "stride-based prefetcher" attached to the L1D: each
+load/store PC trains an entry (last address, stride, confidence); once
+confident, the prefetcher emits ``degree`` prefetch addresses ahead of the
+current access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class _StrideEntry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Per-PC stride detector.
+
+    Args:
+        table_entries: Size of the reference prediction table.
+        degree: Prefetches issued per confident access.
+        distance: How many strides ahead the first prefetch lands.
+        threshold: Confidence needed before issuing prefetches.
+    """
+
+    def __init__(
+        self,
+        table_entries: int = 256,
+        degree: int = 4,
+        distance: int = 1,
+        threshold: int = 2,
+    ):
+        self._mask = table_entries - 1
+        if table_entries & self._mask:
+            raise ValueError("table_entries must be a power of two")
+        self.degree = degree
+        self.distance = distance
+        self.threshold = threshold
+        self._table: Dict[int, _StrideEntry] = {}
+        self.issued = 0
+
+    def train(self, pc: int, addr: int) -> List[int]:
+        """Observe an access; return addresses to prefetch (possibly empty)."""
+        key = pc & self._mask
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _StrideEntry(last_addr=addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(entry.confidence + 1, 7)
+        else:
+            entry.confidence = max(entry.confidence - 1, 0)
+            if entry.confidence == 0:
+                entry.stride = stride
+        entry.last_addr = addr
+        if entry.confidence >= self.threshold and entry.stride != 0:
+            # scale small strides up to cache-line steps so prefetches run
+            # far enough ahead to hide memory latency on unit-stride streams
+            step = entry.stride
+            if 0 < abs(step) < 64:
+                lines = -(-64 // abs(step))  # ceil
+                step *= lines
+            prefetches = [
+                addr + step * (self.distance + i) for i in range(self.degree)
+            ]
+            self.issued += len(prefetches)
+            return prefetches
+        return []

@@ -1,0 +1,5 @@
+"""Register renaming."""
+
+from .rename_unit import OutOfPhysicalRegisters, RenameUnit, RenamedOp
+
+__all__ = ["OutOfPhysicalRegisters", "RenameUnit", "RenamedOp"]

@@ -1,0 +1,88 @@
+"""Scheduling windows: the paper's subject.
+
+``create_scheduler(pipeline)`` builds the scheduler named by the pipeline's
+``config.scheduler.kind`` — one of ``inorder``, ``ooo``, ``ces``,
+``casino``, ``fxa``, ``ballerino``.
+"""
+
+from __future__ import annotations
+
+from .ballerino import BallerinoScheduler
+from .base import SchedulerBase
+from .casino import CasinoScheduler
+from .ces import CESScheduler
+from .fxa import FXAScheduler
+from .inorder import InOrderScheduler
+from .ooo import OutOfOrderScheduler
+from .piq import SharedPIQ
+from .steering import SteerDecision, SteerInfo, SteeringScoreboard
+
+__all__ = [
+    "BallerinoScheduler",
+    "SchedulerBase",
+    "CasinoScheduler",
+    "CESScheduler",
+    "FXAScheduler",
+    "InOrderScheduler",
+    "OutOfOrderScheduler",
+    "SharedPIQ",
+    "SteerDecision",
+    "SteerInfo",
+    "SteeringScoreboard",
+    "create_scheduler",
+]
+
+
+def create_scheduler(core) -> SchedulerBase:
+    """Instantiate the scheduler described by ``core.config.scheduler``."""
+    params = core.config.scheduler
+    kind = params.kind
+    if kind == "inorder":
+        return InOrderScheduler(core, iq_size=params.iq_size)
+    if kind == "ooo":
+        return OutOfOrderScheduler(
+            core, iq_size=params.iq_size, oldest_first=params.oldest_first
+        )
+    if kind == "ces":
+        return CESScheduler(
+            core,
+            num_piqs=params.num_piqs,
+            piq_size=params.piq_size,
+            mda_steering=params.mda_steering,
+        )
+    if kind == "casino":
+        return CasinoScheduler(
+            core, queue_sizes=params.casino_queues, window=params.casino_window
+        )
+    if kind == "fxa":
+        return FXAScheduler(core, iq_size=params.iq_size,
+                            ixu_depth=params.ixu_depth)
+    if kind == "spq":
+        from .spq import SPQScheduler
+
+        return SPQScheduler(
+            core, num_queues=params.num_piqs, queue_size=params.piq_size
+        )
+    if kind == "dnb":
+        from .dnb import DNBScheduler
+
+        return DNBScheduler(
+            core,
+            iq_size=params.iq_size,
+            num_delay_queues=params.num_piqs,
+            delay_queue_size=params.piq_size,
+            bypass_size=params.siq_size,
+            bypass_window=params.siq_window,
+        )
+    if kind == "ballerino":
+        return BallerinoScheduler(
+            core,
+            siq_size=params.siq_size,
+            siq_window=params.siq_window,
+            num_piqs=params.num_piqs,
+            piq_size=params.piq_size,
+            mda_steering=params.mda_steering,
+            piq_sharing=params.piq_sharing,
+            ideal_sharing=params.ideal_sharing,
+        )
+    raise ValueError(f"unknown scheduler kind: {kind}")

@@ -1,0 +1,72 @@
+"""Scheduler interface.
+
+A scheduler owns the scheduling window between dispatch and issue.  The
+pipeline calls:
+
+* :meth:`can_accept` / :meth:`insert` at dispatch (in program order);
+* :meth:`select` once per cycle — the scheduler picks ready micro-ops,
+  acquiring issue ports through ``core.try_grant``, and returns them;
+* :meth:`on_wakeup` when a physical register becomes ready (used for
+  energy accounting of wakeup broadcasts);
+* :meth:`flush_from` on a squash.
+
+Schedulers record their energy-relevant activity into ``core.energy``
+(a Counter) using these event names:
+
+=================  ======================================================
+``wakeup_cam``     CAM tag comparisons performed by wakeup broadcasts
+``select_input``   prefix-sum select-logic inputs examined
+``iq_write``       scheduling-window entry writes (dispatch, copies)
+``iq_read``        payload reads at issue
+``pscb_read``      physical-register scoreboard reads (Ballerino/CES)
+``pscb_write``     scoreboard updates
+``steer``          steering-mux operations
+=================  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, TYPE_CHECKING
+
+from ..core.ifop import InFlightOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import Pipeline
+
+
+class SchedulerBase:
+    """Common plumbing for all scheduling-window implementations."""
+
+    kind = "base"
+
+    def __init__(self, core: "Pipeline"):
+        self.core = core
+        self.energy = core.energy
+
+    # -- dispatch ------------------------------------------------------
+    def can_accept(self, ifop: InFlightOp) -> bool:
+        raise NotImplementedError
+
+    def insert(self, ifop: InFlightOp, cycle: int) -> None:
+        raise NotImplementedError
+
+    # -- issue ---------------------------------------------------------
+    def select(self, cycle: int) -> List[InFlightOp]:
+        raise NotImplementedError
+
+    def on_wakeup(self, preg: int, cycle: int) -> None:
+        """A physical register became ready (energy accounting hook)."""
+
+    def on_complete(self, ifop: InFlightOp, cycle: int) -> None:
+        """An op finished execution (training hook, e.g. delay trackers)."""
+
+    # -- recovery ------------------------------------------------------
+    def flush_from(self, seq: int) -> None:
+        raise NotImplementedError
+
+    # -- reporting -----------------------------------------------------
+    def occupancy(self) -> int:
+        raise NotImplementedError
+
+    def extra_stats(self) -> Dict[str, float]:
+        return {}

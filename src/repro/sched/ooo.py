@@ -1,0 +1,83 @@
+"""Baseline out-of-order issue queue (paper §II-A, Figure 2).
+
+A unified random queue (no compaction): dispatched ops occupy free slots;
+wakeup is a CAM broadcast over every entry; per-port prefix-sum select
+grants the *uppermost* (lowest slot index) requesting entry.  The optional
+``oldest_first`` variant models an age-matrix/compaction design by
+prioritising by sequence number instead of slot position (Fig. 11's
+"OoO w/ oldest-first selection" bars).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.ifop import InFlightOp
+from .base import SchedulerBase
+
+
+class OutOfOrderScheduler(SchedulerBase):
+    """Unified CAM-based IQ with per-port prefix-sum selection."""
+
+    kind = "ooo"
+
+    def __init__(self, core, iq_size: int = 96, oldest_first: bool = False):
+        super().__init__(core)
+        self.iq_size = iq_size
+        self.oldest_first = oldest_first
+        self._slots: List[Optional[InFlightOp]] = [None] * iq_size
+        self._free: List[int] = list(range(iq_size - 1, -1, -1))
+        self._count = 0
+
+    def can_accept(self, ifop: InFlightOp) -> bool:
+        return self._count < self.iq_size
+
+    def insert(self, ifop: InFlightOp, cycle: int) -> None:
+        slot = self._free.pop()
+        self._slots[slot] = ifop
+        ifop.iq_index = slot
+        self._count += 1
+        self.energy["iq_write"] += 1
+
+    def select(self, cycle: int) -> List[InFlightOp]:
+        core = self.core
+        if self._count == 0:
+            return []
+        # every occupied entry feeds the per-port prefix-sum circuits
+        self.energy["select_input"] += self._count
+        candidates = [op for op in self._slots if op is not None]
+        if self.oldest_first:
+            candidates.sort(key=lambda op: op.seq)
+        issued: List[InFlightOp] = []
+        width = core.config.issue_width
+        for op in candidates:
+            if len(issued) >= width:
+                break
+            if not core.op_ready(op, cycle):
+                continue
+            if not core.try_grant(op, cycle):
+                continue
+            self._remove(op)
+            self.energy["iq_read"] += 1
+            issued.append(op)
+        return issued
+
+    def _remove(self, ifop: InFlightOp) -> None:
+        slot = ifop.iq_index
+        self._slots[slot] = None
+        self._free.append(slot)
+        self._count -= 1
+
+    def on_wakeup(self, preg: int, cycle: int) -> None:
+        # destination-tag broadcast: one CAM compare per window entry
+        self.energy["wakeup_cam"] += self.iq_size
+
+    def flush_from(self, seq: int) -> None:
+        for slot, op in enumerate(self._slots):
+            if op is not None and op.seq >= seq:
+                self._slots[slot] = None
+                self._free.append(slot)
+                self._count -= 1
+
+    def occupancy(self) -> int:
+        return self._count

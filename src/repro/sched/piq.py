@@ -1,0 +1,168 @@
+"""Ballerino's shareable P-IQ (paper §IV-D, Figure 9).
+
+A P-IQ is a circular FIFO with two operating modes:
+
+* **normal** — one FIFO holding a single dependence chain;
+* **sharing** — the queue is split into two equal partitions, each a
+  distinct FIFO holding its own chain, with an extra head/tail pointer pair.
+
+Implementation constraints from the paper (evaluated by the ``ideal`` knob):
+
+1. at most two partitions;
+2. a P-IQ is eligible for sharing only while its head and tail pointers sit
+   in the same physical half of the queue — equivalently, at most half the
+   entries are occupied by the resident chain and they are physically
+   contiguous within one half (a FIFO's occupancy is always contiguous, so
+   we model the constraint as *occupancy <= size/2*);
+3. only one partition's head is examined per cycle (single read port); the
+   active head stays after issuing (back-to-back single-cycle issue) and
+   otherwise toggles to give the other chain a chance — the paper's
+   head-selection policy.
+
+With ``ideal=True`` constraints 2 and 3 are lifted (sharing is allowed at
+any pointer position and both heads may issue in one cycle), matching the
+"Step 3 w/o constraints" bars of Figure 13.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..core.ifop import InFlightOp
+
+
+class SharedPIQ:
+    """One P-IQ supporting normal and (two-partition) sharing modes."""
+
+    def __init__(self, size: int, ideal: bool = False):
+        self.size = size
+        self.ideal = ideal
+        self.partitions: List[Deque[InFlightOp]] = [deque()]
+        self.active = 0  # partition whose head is examined this cycle
+        self.share_activations = 0
+
+    # ------------------------------------------------------------------
+    # mode / capacity
+    # ------------------------------------------------------------------
+    @property
+    def sharing(self) -> bool:
+        return len(self.partitions) == 2
+
+    def occupancy(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy() == 0
+
+    def partition_capacity(self) -> int:
+        return self.size // 2 if self.sharing else self.size
+
+    def has_space(self, partition: int) -> bool:
+        if partition >= len(self.partitions):
+            return False
+        if self.sharing:
+            return len(self.partitions[partition]) < self.size // 2
+        return self.occupancy() < self.size
+
+    def shareable(self) -> bool:
+        """Can the steer logic activate sharing mode on this queue?"""
+        if self.sharing or self.empty:
+            return False
+        if self.ideal:
+            return self.occupancy() < self.size  # any free entry suffices
+        # head and tail within the same physical half <=> occupancy <= size/2
+        return self.occupancy() <= self.size // 2
+
+    def activate_sharing(self) -> int:
+        """Split into two partitions; returns the new partition's index."""
+        if not self.shareable():
+            raise RuntimeError("P-IQ not eligible for sharing")
+        self.partitions.append(deque())
+        self.share_activations += 1
+        return 1
+
+    def _maybe_collapse(self) -> None:
+        """Drop back to normal mode once a partition drains."""
+        if self.sharing:
+            if not self.partitions[1]:
+                self.partitions.pop()
+                self.active = 0
+            elif not self.partitions[0]:
+                self.partitions[0] = self.partitions.pop()
+                self.active = 0
+
+    # ------------------------------------------------------------------
+    # FIFO operations
+    # ------------------------------------------------------------------
+    def append(self, ifop: InFlightOp, partition: int) -> None:
+        if not self.has_space(partition):
+            raise RuntimeError("P-IQ partition overflow")
+        self.partitions[partition].append(ifop)
+
+    def tail(self, partition: int) -> Optional[InFlightOp]:
+        queue = self.partitions[partition] if partition < len(self.partitions) else None
+        return queue[-1] if queue else None
+
+    def active_heads(self) -> List[tuple]:
+        """(partition, head-op) pairs examined for issue this cycle."""
+        if not self.sharing:
+            queue = self.partitions[0]
+            return [(0, queue[0])] if queue else []
+        if self.ideal:
+            return [
+                (index, queue[0])
+                for index, queue in enumerate(self.partitions)
+                if queue
+            ]
+        queue = self.partitions[self.active]
+        if not queue:  # the active partition drained: examine the other
+            other = 1 - self.active
+            queue = self.partitions[other]
+            return [(other, queue[0])] if queue else []
+        return [(self.active, queue[0])]
+
+    def pop_head(self, partition: int, collapse: bool = True) -> InFlightOp:
+        """Issue the head of ``partition``.
+
+        ``collapse=False`` defers the normal-mode collapse so that a caller
+        iterating over ``active_heads()`` pairs (ideal mode examines both)
+        keeps stable partition indices; it must call :meth:`collapse_idle`
+        afterwards.
+        """
+        ifop = self.partitions[partition].popleft()
+        if collapse:
+            self._maybe_collapse()
+        return ifop
+
+    def collapse_idle(self) -> None:
+        """Public deferred-collapse hook (see :meth:`pop_head`)."""
+        self._maybe_collapse()
+
+    def end_cycle(self, issued_partition: Optional[int]) -> None:
+        """Head-pointer selection for the next cycle (paper §IV-D).
+
+        Keep the current head after a successful issue (back-to-back);
+        otherwise hand the single read port to the other chain.
+        """
+        if not self.sharing or self.ideal:
+            self.active = 0
+            return
+        if issued_partition is not None:
+            self.active = issued_partition
+        else:
+            other = 1 - self.active
+            if self.partitions[other]:
+                self.active = other
+
+    # ------------------------------------------------------------------
+    def flush_from(self, seq: int) -> None:
+        for queue in self.partitions:
+            while queue and queue[-1].seq >= seq:
+                queue.pop()
+        self._maybe_collapse()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "/".join(str(len(p)) for p in self.partitions)
+        return f"<PIQ {sizes} of {self.size}{' sharing' if self.sharing else ''}>"

@@ -1,0 +1,151 @@
+"""SPQ: load-delay-tracking systolic-priority-queue scheduler — extension.
+
+The paper's related work (§VII) describes Diavastos & Carlson's design:
+dispatched micro-ops are steered across parallel *systolic priority
+queues*, each of which keeps its contents ordered by **predicted issue
+time**; only queue heads are examined, so select stays as cheap as CES's,
+but — unlike a FIFO P-IQ — a chain with a far-future ready time does not
+block a near-future one steered to the same queue.
+
+The issue-time prediction needs a *load delay tracker*: a per-load-PC
+table of the last observed completion latency, consulted at dispatch to
+estimate when each destination register will be ready.
+
+Not part of Ballerino; included as a second related-work extension so the
+library covers the priority-queue design point too.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from ..core.ifop import InFlightOp
+from .base import SchedulerBase
+
+#: Default delay guess for a never-seen load (optimistic L1 hit).
+DEFAULT_LOAD_DELAY = 6
+
+
+class LoadDelayTracker:
+    """Per-PC table of recently observed load completion latencies."""
+
+    def __init__(self, entries: int = 512):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._delays: Dict[int, int] = {}
+
+    def predict(self, pc: int) -> int:
+        return self._delays.get(pc & self._mask, DEFAULT_LOAD_DELAY)
+
+    def record(self, pc: int, delay: int) -> None:
+        self._delays[pc & self._mask] = delay
+
+
+class SPQScheduler(SchedulerBase):
+    """Parallel priority queues ordered by predicted issue time."""
+
+    kind = "spq"
+
+    def __init__(self, core, num_queues: int = 8, queue_size: int = 12):
+        super().__init__(core)
+        self.num_queues = num_queues
+        self.queue_size = queue_size
+        # each queue: list of (predicted_issue, seq, ifop), kept sorted
+        self.queues: List[List[Tuple[int, int, InFlightOp]]] = [
+            [] for _ in range(num_queues)
+        ]
+        self.tracker = LoadDelayTracker()
+        #: preg -> predicted ready cycle (dispatch-time estimate)
+        self._predicted_ready: Dict[int, int] = {}
+        #: in-flight store seq -> predicted issue time (for MDP ordering)
+        self._store_predicted: Dict[int, int] = {}
+        self.issued_total = 0
+        self.mispredicted_heads = 0
+
+    # ------------------------------------------------------------------
+    def can_accept(self, ifop: InFlightOp) -> bool:
+        return any(len(q) < self.queue_size for q in self.queues)
+
+    def insert(self, ifop: InFlightOp, cycle: int) -> None:
+        # predict when the op can issue: operands' predicted ready times
+        predicted = cycle + 1
+        for preg in ifop.src_pregs:
+            if self.core.ready.is_ready(preg, cycle):
+                continue
+            predicted = max(predicted, self._predicted_ready.get(preg, cycle + 1))
+        # an MDP dependence must keep the consumer *behind* its producer
+        # store in any queue, or a head-blocked priority inversion could
+        # deadlock the pair — order by the store's predicted issue time
+        dep = ifop.mdp_dep_seq
+        if dep is not None and dep in self._store_predicted:
+            predicted = max(predicted, self._store_predicted[dep] + 1)
+        if ifop.is_store:
+            self._store_predicted[ifop.seq] = predicted
+        self.energy["pscb_read"] += max(1, len(ifop.src_pregs))
+        # predicted completion feeds consumers' estimates
+        latency = ifop.opcode.latency
+        if ifop.is_load:
+            latency += self.tracker.predict(ifop.op.pc)
+        if ifop.dest_preg is not None:
+            self._predicted_ready[ifop.dest_preg] = predicted + latency
+            self.energy["pscb_write"] += 1
+        # steer: least-occupied queue (opcode/balance steering)
+        queue = min(self.queues, key=len)
+        bisect.insort(queue, (predicted, ifop.seq, ifop))
+        ifop.iq_index = self.queues.index(queue)
+        self.energy["iq_write"] += 1
+        self.energy["steer"] += 1
+
+    # ------------------------------------------------------------------
+    def select(self, cycle: int) -> List[InFlightOp]:
+        issued: List[InFlightOp] = []
+        core = self.core
+        for queue in self.queues:
+            if not queue:
+                continue
+            _, _, head = queue[0]
+            self.energy["select_input"] += 1
+            if not core.op_ready(head, cycle):
+                self.mispredicted_heads += 1
+                continue
+            if not core.try_grant(head, cycle):
+                continue
+            queue.pop(0)
+            if head.is_store:
+                self._store_predicted.pop(head.seq, None)
+            self.energy["iq_read"] += 1
+            self.issued_total += 1
+            issued.append(head)
+        return issued
+
+    def on_wakeup(self, preg: int, cycle: int) -> None:
+        self.energy["wakeup_cam"] += self.num_queues
+        self._predicted_ready.pop(preg, None)
+
+    def on_complete(self, ifop: InFlightOp, cycle: int) -> None:
+        """Train the load-delay tracker with the observed latency."""
+        if ifop.is_load and ifop.issue_cycle >= 0:
+            self.tracker.record(ifop.op.pc, cycle - ifop.issue_cycle)
+
+    # ------------------------------------------------------------------
+    def flush_from(self, seq: int) -> None:
+        for index, queue in enumerate(self.queues):
+            self.queues[index] = [
+                entry for entry in queue if entry[1] < seq
+            ]
+        self._store_predicted = {
+            s: t for s, t in self._store_predicted.items() if s < seq
+        }
+        # stale per-preg predictions are harmless (performance hints only)
+        # and bounded by the physical register count.
+
+    def occupancy(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def extra_stats(self) -> Dict[str, float]:
+        return {
+            "issued_total": self.issued_total,
+            "mispredicted_heads": self.mispredicted_heads,
+        }

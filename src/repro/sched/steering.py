@@ -1,0 +1,64 @@
+"""Shared steering state for dependence-based schedulers (CES, Ballerino).
+
+The :class:`SteeringScoreboard` is the producer-location half of the paper's
+P-SCB (§IV-C): for each physical register whose producer currently waits in
+a P-IQ, it records *which* P-IQ (and partition), and a Reserved bit that is
+set once one consumer has been steered behind the producer — a second
+consumer then sees Reserved and must start a new chain (chain split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class SteerInfo:
+    """Location of an un-issued producer inside the clustered P-IQs."""
+
+    iq: int
+    partition: int = 0
+    reserved: bool = False
+    owner_seq: int = -1  # producer's dynamic seq (for flush filtering)
+
+
+@dataclass
+class SteerDecision:
+    """Outcome of one steering attempt at the head of dispatch/S-IQ."""
+
+    target: Optional[int]  # P-IQ index, or None on a steering stall
+    partition: int
+    outcome: str  # "dc" | "mda" | "alloc" | "share" | "stall"
+    followed_preg: Optional[int] = None  # src whose producer we followed
+    ready: bool = False  # was the op ready-at-dispatch?
+
+
+class SteeringScoreboard:
+    """preg -> :class:`SteerInfo` with flush support."""
+
+    def __init__(self):
+        self._map: Dict[int, SteerInfo] = {}
+
+    def get(self, preg: int) -> Optional[SteerInfo]:
+        return self._map.get(preg)
+
+    def set(self, preg: int, info: SteerInfo) -> None:
+        self._map[preg] = info
+
+    def reserve(self, preg: int) -> None:
+        info = self._map.get(preg)
+        if info is not None:
+            info.reserved = True
+
+    def clear(self, preg: Optional[int]) -> None:
+        if preg is not None:
+            self._map.pop(preg, None)
+
+    def flush_from(self, seq: int) -> None:
+        self._map = {
+            preg: info for preg, info in self._map.items() if info.owner_seq < seq
+        }
+
+    def __len__(self) -> int:
+        return len(self._map)

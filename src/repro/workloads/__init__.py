@@ -1,0 +1,27 @@
+"""Workloads: program DSL, functional executor, traces, kernel suite."""
+
+from .executor import ExecutionLimitExceeded, FunctionalExecutor, execute
+from .kernels import KERNELS, KernelSpec, build_trace
+from .program import Program, ProgramBuilder
+from .serialization import TraceFormatError, load_trace, save_trace
+from .suite import SMOKE_NAMES, SUITE_NAMES, default_suite, get_trace
+from .trace import Trace
+
+__all__ = [
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
+    "ExecutionLimitExceeded",
+    "FunctionalExecutor",
+    "execute",
+    "KERNELS",
+    "KernelSpec",
+    "build_trace",
+    "Program",
+    "ProgramBuilder",
+    "SMOKE_NAMES",
+    "SUITE_NAMES",
+    "default_suite",
+    "get_trace",
+    "Trace",
+]

@@ -1,0 +1,189 @@
+"""Functional executor: runs a program and emits its dynamic micro-op trace.
+
+The executor interprets the ISA semantics with an architectural register file
+and a sparse word-addressed memory, producing one immutable
+:class:`~repro.isa.instruction.DynOp` per executed instruction.  The timing
+simulators then *replay* the trace — they never need functional semantics,
+only resolved memory addresses and branch outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..isa.instruction import DynOp, Instruction
+from ..isa.registers import NUM_ARCH_REGS, ZERO
+from .program import Program
+from .trace import Trace
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """Raised when a program does not halt within ``max_ops`` micro-ops."""
+
+
+class FunctionalExecutor:
+    """Interprets a :class:`~repro.workloads.program.Program`.
+
+    Args:
+        program: The assembled program.
+        memory: Optional initial memory image (byte address -> 64-bit value;
+            addresses are treated as 8-byte aligned words).
+        registers: Optional initial register values (arch reg id -> value).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Dict[int, float]] = None,
+        registers: Optional[Dict[int, float]] = None,
+    ):
+        self.program = program
+        self.memory: Dict[int, float] = dict(memory or {})
+        self.registers: List[float] = [0] * NUM_ARCH_REGS
+        for reg, value in (registers or {}).items():
+            self.registers[reg] = value
+        self.registers[ZERO] = 0
+
+    # ------------------------------------------------------------------
+    def _read(self, reg: int) -> float:
+        return 0 if reg == ZERO else self.registers[reg]
+
+    def _write(self, reg: Optional[int], value: float) -> None:
+        if reg is not None and reg != ZERO:
+            self.registers[reg] = value
+
+    def _mem_addr(self, inst: Instruction) -> int:
+        base = inst.srcs[-1]  # address base is the last source operand
+        return int(self._read(base)) + inst.imm
+
+    def run(self, max_ops: int = 2_000_000) -> Trace:
+        """Execute until ``halt`` and return the dynamic trace.
+
+        Raises:
+            ExecutionLimitExceeded: If ``max_ops`` is reached before ``halt``.
+        """
+        ops: List[DynOp] = []
+        pc = 0
+        code = self.program.instructions
+        labels = self.program.labels
+        while len(ops) < max_ops:
+            if not 0 <= pc < len(code):
+                raise IndexError(f"pc out of range: {pc}")
+            inst = code[pc]
+            name = inst.opcode.name
+            next_pc = pc + 1
+            mem_addr: Optional[int] = None
+            taken: Optional[bool] = None
+            target_pc: Optional[int] = None
+
+            if name == "halt":
+                ops.append(
+                    DynOp(
+                        seq=len(ops),
+                        pc=pc,
+                        opcode=inst.opcode,
+                        dest=None,
+                        srcs=(),
+                        fallthrough_pc=pc + 1,
+                    )
+                )
+                break
+
+            if name in _ALU_BINOPS:
+                a, b = self._read(inst.srcs[0]), self._read(inst.srcs[1])
+                self._write(inst.dest, _ALU_BINOPS[name](a, b))
+            elif name == "addi":
+                self._write(inst.dest, int(self._read(inst.srcs[0])) + inst.imm)
+            elif name == "shl":
+                self._write(inst.dest, int(self._read(inst.srcs[0])) << inst.imm)
+            elif name == "shr":
+                self._write(inst.dest, int(self._read(inst.srcs[0])) >> inst.imm)
+            elif name in ("mov", "fmov"):
+                self._write(inst.dest, self._read(inst.srcs[0]))
+            elif name == "li":
+                self._write(inst.dest, inst.imm)
+            elif name in ("load", "fload"):
+                mem_addr = self._mem_addr(inst)
+                self._write(inst.dest, self.memory.get(mem_addr, 0))
+            elif name in ("store", "fstore"):
+                mem_addr = self._mem_addr(inst)
+                self.memory[mem_addr] = self._read(inst.srcs[0])
+            elif inst.opcode.is_branch:
+                target_pc = labels[inst.target] if inst.target else pc + 1
+                if name == "jmp":
+                    taken = True
+                else:
+                    a, b = self._read(inst.srcs[0]), self._read(inst.srcs[1])
+                    taken = _BRANCH_CONDS[name](a, b)
+                if taken:
+                    next_pc = target_pc
+            elif name == "nop":
+                pass
+            else:  # pragma: no cover - the opcode table is closed
+                raise NotImplementedError(f"unhandled opcode: {name}")
+
+            ops.append(
+                DynOp(
+                    seq=len(ops),
+                    pc=pc,
+                    opcode=inst.opcode,
+                    dest=inst.dest,
+                    srcs=inst.srcs,
+                    mem_addr=mem_addr,
+                    taken=taken,
+                    target_pc=target_pc,
+                    fallthrough_pc=pc + 1,
+                )
+            )
+            pc = next_pc
+        else:
+            raise ExecutionLimitExceeded(
+                f"{self.program.name}: no halt within {max_ops} micro-ops"
+            )
+        return Trace(name=self.program.name, ops=tuple(ops))
+
+
+def _int_div(a: float, b: float) -> int:
+    bi = int(b)
+    return 0 if bi == 0 else int(a) // bi
+
+
+def _int_rem(a: float, b: float) -> int:
+    bi = int(b)
+    return 0 if bi == 0 else int(a) % bi
+
+
+_ALU_BINOPS = {
+    "add": lambda a, b: int(a) + int(b),
+    "sub": lambda a, b: int(a) - int(b),
+    "and": lambda a, b: int(a) & int(b),
+    "or": lambda a, b: int(a) | int(b),
+    "xor": lambda a, b: int(a) ^ int(b),
+    "slt": lambda a, b: 1 if a < b else 0,
+    "mul": lambda a, b: int(a) * int(b),
+    "div": _int_div,
+    "rem": _int_rem,
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: a / b if b else 0.0,
+}
+
+_BRANCH_CONDS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+}
+
+
+def execute(
+    program: Program,
+    memory: Optional[Dict[int, float]] = None,
+    registers: Optional[Dict[int, float]] = None,
+    max_ops: int = 2_000_000,
+) -> Trace:
+    """Convenience wrapper: run ``program`` and return its :class:`Trace`."""
+    return FunctionalExecutor(program, memory=memory, registers=registers).run(
+        max_ops=max_ops
+    )

@@ -1,0 +1,559 @@
+"""Workload kernel suite.
+
+The paper evaluates on SPEC CPU2006/2017 SimPoints, which are not available
+offline.  This module substitutes a suite of small kernels chosen to span the
+behaviours that differentiate the schedulers under study:
+
+=================  =============================================================
+Kernel             Behaviour exercised
+=================  =============================================================
+stream_triad       streaming FP, high MLP, prefetcher-friendly (lbm/bwaves-like)
+pointer_chase      serial dependent loads, latency bound (mcf-like)
+hash_probe         independent random loads, raw MLP (omnetpp/xalanc-like)
+matmul_tile        compute-dense FP ILP, cache resident (cactus-like)
+stencil3           mixed locality, moderate reuse
+reduce_chain       one long serial FP dependence chain, minimal ILP
+histogram          store->load aliasing, exercises MDP and MDA steering
+branchy_count      data-dependent branches, mispredict heavy (leela-like)
+dag_wide           many short independent chains (P-IQ sharing stressor)
+mixed_int_fp       heterogeneous port pressure, int and FP chains interleaved
+gather_stride      large-stride gathers, prefetch-defeating
+spill_fill         stack-like store-then-load traffic, store forwarding
+mdep_chain         M-dependent load behind a slow store (MDA steering target)
+=================  =============================================================
+
+Three extra kernels (``binary_search``, ``transpose_blocks``, ``crc_chain``)
+are registered with ``in_suite=False``: available to users and benchmarks
+without being part of the default figure suite.
+
+Each kernel builder returns a fully assembled :class:`Program` plus its
+initial memory image; :func:`build_trace` runs the functional executor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..isa.registers import F, R
+from .executor import execute
+from .program import Program, ProgramBuilder
+from .trace import Trace
+
+#: Base addresses of the data regions used by kernels (64-byte aligned,
+#: far apart so regions never alias).
+REGION_A = 0x0010_0000
+REGION_B = 0x0080_0000
+REGION_C = 0x0100_0000
+REGION_TABLE = 0x0200_0000
+WORD = 8
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A named kernel: builder plus documentation."""
+
+    name: str
+    description: str
+    build: Callable[[int, int], Tuple[Program, Dict[int, float]]]
+    #: Rough micro-ops emitted per iteration (used to pick iteration counts).
+    ops_per_iter: int
+    #: Whether the kernel belongs to the default evaluation suite; extras
+    #: are available to users/benchmarks without affecting the figures.
+    in_suite: bool = True
+
+
+# ----------------------------------------------------------------------
+# kernel builders; each returns (program, initial_memory)
+# ----------------------------------------------------------------------
+
+
+def _stream_triad(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """a[i] = b[i] + s * c[i] over arrays larger than the L3."""
+    b = ProgramBuilder("stream_triad")
+    b.li(R[16], REGION_A)
+    b.li(R[17], REGION_B)
+    b.li(R[18], REGION_C)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.li(F[10], 3)  # scalar s
+    b.label("loop")
+    b.fload(F[1], R[17], 0)
+    b.fload(F[2], R[18], 0)
+    b.fmul(F[3], F[2], F[10])
+    b.fadd(F[4], F[1], F[3])
+    b.fstore(F[4], R[16], 0)
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[17], R[17], WORD)
+    b.addi(R[18], R[18], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    rng = random.Random(seed)
+    memory = {}
+    for i in range(n):
+        memory[REGION_B + i * WORD] = rng.uniform(-1, 1)
+        memory[REGION_C + i * WORD] = rng.uniform(-1, 1)
+    return b.build(), memory
+
+
+def _pointer_chase(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Traverse a randomly permuted linked list spanning ~4 MiB."""
+    nodes = max(1024, min(4 * n, 1 << 16))
+    rng = random.Random(seed)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    memory: Dict[int, float] = {}
+    for i in range(nodes):
+        addr = REGION_TABLE + order[i] * 64  # one node per cache line
+        nxt = REGION_TABLE + order[(i + 1) % nodes] * 64
+        memory[addr] = nxt
+    head = REGION_TABLE + order[0] * 64
+
+    b = ProgramBuilder("pointer_chase")
+    b.li(R[16], head)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[16], R[16], 0)  # serial: next = *node
+    b.addi(R[21], R[21], 1)  # independent work alongside the chase
+    b.add(R[22], R[22], R[21])
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _hash_probe(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """LCG-indexed probes of a large table: independent misses, raw MLP."""
+    table_words = 1 << 16  # 512 KiB of words spread across lines
+    b = ProgramBuilder("hash_probe")
+    b.li(R[16], REGION_TABLE)
+    b.li(R[17], 12345 + seed)
+    b.li(R[18], 1103515245)
+    b.li(R[23], table_words - 1)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.mul(R[17], R[17], R[18])  # LCG step (serial, but cheap)
+    b.addi(R[17], R[17], 12345)
+    b.and_(R[21], R[17], R[23])  # index = state & mask
+    b.shl(R[21], R[21], 3)
+    b.add(R[21], R[21], R[16])
+    b.load(R[22], R[21], 0)  # independent of previous loads
+    b.add(R[24], R[24], R[22])
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), {}
+
+
+def _matmul_tile(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Register-blocked 4-wide dot products over a cache-resident tile."""
+    k_len = 64  # inner dimension; 4 KiB footprint -> L1 resident
+    rng = random.Random(seed)
+    memory: Dict[int, float] = {}
+    for i in range(4 * k_len):
+        memory[REGION_A + i * WORD] = rng.uniform(-1, 1)
+    for i in range(k_len):
+        memory[REGION_B + i * WORD] = rng.uniform(-1, 1)
+
+    b = ProgramBuilder("matmul_tile")
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("outer")
+    b.li(R[16], REGION_A)
+    b.li(R[17], REGION_B)
+    b.li(R[21], 0)
+    b.li(R[22], k_len)
+    b.label("inner")
+    b.fload(F[1], R[17], 0)  # b[k]
+    b.fload(F[2], R[16], 0)  # a0[k]
+    b.fload(F[3], R[16], k_len * WORD)  # a1[k]
+    b.fload(F[4], R[16], 2 * k_len * WORD)  # a2[k]
+    b.fload(F[5], R[16], 3 * k_len * WORD)  # a3[k]
+    b.fmul(F[2], F[2], F[1])
+    b.fmul(F[3], F[3], F[1])
+    b.fmul(F[4], F[4], F[1])
+    b.fmul(F[5], F[5], F[1])
+    b.fadd(F[6], F[6], F[2])  # four parallel accumulator chains
+    b.fadd(F[7], F[7], F[3])
+    b.fadd(F[8], F[8], F[4])
+    b.fadd(F[9], F[9], F[5])
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[17], R[17], WORD)
+    b.addi(R[21], R[21], 1)
+    b.blt(R[21], R[22], "inner")
+    b.fstore(F[6], R[16], 0)
+    b.fstore(F[7], R[16], WORD)
+    b.fstore(F[8], R[16], 2 * WORD)
+    b.fstore(F[9], R[16], 3 * WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "outer")
+    b.halt()
+    return b.build(), memory
+
+
+def _stencil3(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """out[i] = (in[i-1] + in[i] + in[i+1]) / 3 over an L2-sized array."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.uniform(0, 10) for i in range(n + 2)}
+    b = ProgramBuilder("stencil3")
+    b.li(R[16], REGION_A)
+    b.li(R[17], REGION_B)
+    b.li(F[10], 3)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.fload(F[1], R[16], 0)
+    b.fload(F[2], R[16], WORD)
+    b.fload(F[3], R[16], 2 * WORD)
+    b.fadd(F[4], F[1], F[2])
+    b.fadd(F[4], F[4], F[3])
+    b.fdiv(F[5], F[4], F[10])
+    b.fstore(F[5], R[17], 0)
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[17], R[17], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _reduce_chain(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """sum += a[i]: a single serial FP add chain (minimal ILP)."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.uniform(-1, 1) for i in range(n)}
+    b = ProgramBuilder("reduce_chain")
+    b.li(R[16], REGION_A)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.fload(F[1], R[16], 0)
+    b.fadd(F[2], F[2], F[1])  # serial accumulator
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _histogram(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """bins[a[i] & 63] += 1: frequent store->load aliasing (MDP stressor)."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.randrange(1 << 30) for i in range(n)}
+    b = ProgramBuilder("histogram")
+    b.li(R[16], REGION_A)
+    b.li(R[17], REGION_B)  # bins
+    b.li(R[23], 63)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[21], R[16], 0)  # value
+    b.and_(R[21], R[21], R[23])  # bucket
+    b.shl(R[21], R[21], 3)
+    b.add(R[21], R[21], R[17])
+    b.load(R[22], R[21], 0)  # bins[bucket]  (often aliases a recent store)
+    b.addi(R[22], R[22], 1)
+    b.store(R[22], R[21], 0)
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _branchy_count(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Count elements above a threshold: data-dependent, poorly predictable."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.randrange(100) for i in range(n)}
+    b = ProgramBuilder("branchy_count")
+    b.li(R[16], REGION_A)
+    b.li(R[23], 50)  # threshold
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[21], R[16], 0)
+    b.blt(R[21], R[23], "skip")
+    b.addi(R[24], R[24], 1)  # taken ~half the time, data dependent
+    b.add(R[25], R[25], R[21])
+    b.label("skip")
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _dag_wide(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Six short independent chains per iteration, all fed by loads.
+
+    This is the shape that motivates P-IQ sharing: many short-length
+    dependence chains outnumber the physical P-IQs.
+    """
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.randrange(1 << 20) for i in range(6 * n + 8)}
+    b = ProgramBuilder("dag_wide")
+    b.li(R[16], REGION_A)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    # six independent two-op chains, each rooted at its own load
+    for lane in range(6):
+        val = R[21 + lane]
+        b.load(val, R[16], lane * WORD)
+        b.addi(val, val, lane + 1)
+        b.add(R[27], R[27], val)
+    b.addi(R[16], R[16], 6 * WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _mixed_int_fp(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Interleaved integer and FP chains with mul/div port pressure."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.uniform(1, 2) for i in range(n + 4)}
+    b = ProgramBuilder("mixed_int_fp")
+    b.li(R[16], REGION_A)
+    b.li(R[21], 7)
+    b.li(R[22], 3)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.fload(F[1], R[16], 0)
+    b.fmul(F[2], F[1], F[1])
+    b.fadd(F[3], F[3], F[2])
+    b.mul(R[23], R[21], R[22])
+    b.add(R[24], R[24], R[23])
+    b.xor(R[21], R[21], R[24])
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _gather_stride(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Gather with a 1 KiB stride: defeats the stride prefetcher's reach."""
+    b = ProgramBuilder("gather_stride")
+    b.li(R[16], REGION_TABLE)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[21], R[16], 0)
+    b.add(R[22], R[22], R[21])
+    b.load(R[23], R[16], 512)
+    b.add(R[24], R[24], R[23])
+    b.addi(R[16], R[16], 1024)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), {}
+
+
+def _spill_fill(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Store a small frame then immediately reload it (forwarding traffic)."""
+    b = ProgramBuilder("spill_fill")
+    b.li(R[16], REGION_C)  # frame pointer
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.addi(R[21], R[21], 3)
+    b.addi(R[22], R[22], 5)
+    b.store(R[21], R[16], 0)
+    b.store(R[22], R[16], WORD)
+    b.load(R[23], R[16], 0)  # fills hit the just-written frame
+    b.load(R[24], R[16], WORD)
+    b.add(R[25], R[23], R[24])
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), {}
+
+
+def _mdep_chain(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Store-to-load dependence behind a cache-missing producer chain.
+
+    Each iteration stores a value that depends on a slow (pointer-chase)
+    load into a mailbox slot, then immediately reloads it and consumes it,
+    while four independent ALU chains keep the P-IQs under pressure.  The
+    same static store/load pc pair aliases every iteration, so the MDP
+    trains once and then every load carries an M-dependence on an
+    in-flight store — the exact pattern M-dependence-aware steering
+    targets (paper SIII-B).
+    """
+    nodes = 1 << 14
+    rng = random.Random(seed)
+    order = list(range(nodes))
+    rng.shuffle(order)
+    memory: Dict[int, float] = {}
+    for i in range(nodes):
+        addr = REGION_TABLE + order[i] * 64
+        memory[addr] = REGION_TABLE + order[(i + 1) % nodes] * 64
+
+    b = ProgramBuilder("mdep_chain")
+    b.li(R[16], REGION_TABLE + order[0] * 64)  # chase pointer
+    b.li(R[17], REGION_C)  # mailbox
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[16], R[16], 0)       # long-latency producer (chase)
+    b.store(R[16], R[17], 0)      # store waits on the slow load
+    b.load(R[21], R[17], 0)       # M-dependent load (same word)
+    b.addi(R[22], R[21], 1)       # its consumers
+    b.add(R[23], R[23], R[22])
+    # independent chains that keep the clustered P-IQs busy
+    b.addi(R[24], R[24], 1)
+    b.addi(R[25], R[25], 3)
+    b.xor(R[26], R[26], R[24])
+    b.add(R[27], R[27], R[25])
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def _binary_search(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Repeated binary searches: dependent loads + unpredictable branches."""
+    table_words = 1 << 12
+    memory = {REGION_TABLE + i * WORD: i * 3 for i in range(table_words)}
+    b = ProgramBuilder("binary_search")
+    b.li(R[20], n)
+    b.li(R[21], 123 + seed)
+    b.label("lookup")
+    b.li(R[22], 1103515245)
+    b.mul(R[21], R[21], R[22])
+    b.addi(R[21], R[21], 12345)
+    b.li(R[23], 3 * table_words - 1)
+    b.and_(R[1], R[21], R[23])  # key
+    b.li(R[2], 0)  # lo
+    b.li(R[3], table_words)  # hi
+    b.label("bsearch")
+    b.sub(R[4], R[3], R[2])
+    b.li(R[5], 1)
+    b.blt(R[4], R[5], "done")
+    b.add(R[6], R[2], R[3])
+    b.shr(R[6], R[6], 1)
+    b.shl(R[7], R[6], 3)
+    b.li(R[8], REGION_TABLE)
+    b.add(R[7], R[7], R[8])
+    b.load(R[9], R[7], 0)
+    b.blt(R[9], R[1], "go_right")
+    b.mov(R[3], R[6])
+    b.jmp("bsearch")
+    b.label("go_right")
+    b.addi(R[2], R[6], 1)
+    b.jmp("bsearch")
+    b.label("done")
+    b.add(R[10], R[10], R[2])
+    b.addi(R[20], R[20], -1)
+    b.bne(R[20], R[0], "lookup")
+    b.halt()
+    return b.build(), memory
+
+
+def _transpose_blocks(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """Row-read / column-write transpose: conflict-prone strided stores."""
+    dim = 64  # 64x64 words = 32 KiB source
+    rng = random.Random(seed)
+    memory = {
+        REGION_A + i * WORD: rng.uniform(-1, 1) for i in range(dim * dim)
+    }
+    b = ProgramBuilder("transpose_blocks")
+    b.li(R[19], 0)
+    b.li(R[20], n)  # rows processed (wraps over the matrix)
+    b.li(R[23], dim - 1)
+    b.label("row")
+    b.and_(R[21], R[19], R[23])  # row index (mod dim)
+    b.shl(R[16], R[21], 9)  # row base offset = row * dim * 8
+    b.li(R[24], REGION_A)
+    b.add(R[16], R[16], R[24])
+    b.shl(R[17], R[21], 3)  # column base offset = row * 8
+    b.li(R[24], REGION_B)
+    b.add(R[17], R[17], R[24])
+    for j in range(4):  # unrolled partial row
+        b.fload(F[1], R[16], j * WORD)
+        b.fstore(F[1], R[17], j * dim * WORD)  # column stride
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "row")
+    b.halt()
+    return b.build(), memory
+
+
+def _crc_chain(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """CRC-like serial shift/xor chain: ILP ~ 1 by construction."""
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.randrange(1 << 30) for i in range(n)}
+    b = ProgramBuilder("crc_chain")
+    b.li(R[16], REGION_A)
+    b.li(R[21], 0xEDB)  # "polynomial"
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.load(R[22], R[16], 0)
+    b.xor(R[23], R[23], R[22])  # serial chain through r23
+    b.shr(R[24], R[23], 1)
+    b.and_(R[25], R[23], R[21])
+    b.xor(R[23], R[24], R[25])
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in [
+        KernelSpec("stream_triad", "streaming FP triad, high MLP", _stream_triad, 10),
+        KernelSpec("pointer_chase", "serial dependent loads", _pointer_chase, 5),
+        KernelSpec("hash_probe", "independent random loads", _hash_probe, 9),
+        KernelSpec("matmul_tile", "compute-dense FP ILP", _matmul_tile, 1100),
+        KernelSpec("stencil3", "3-point stencil", _stencil3, 11),
+        KernelSpec("reduce_chain", "serial FP reduction", _reduce_chain, 5),
+        KernelSpec("histogram", "store->load aliasing", _histogram, 10),
+        KernelSpec("branchy_count", "data-dependent branches", _branchy_count, 7),
+        KernelSpec("dag_wide", "many short chains", _dag_wide, 21),
+        KernelSpec("mixed_int_fp", "int+FP port pressure", _mixed_int_fp, 9),
+        KernelSpec("gather_stride", "prefetch-defeating gathers", _gather_stride, 7),
+        KernelSpec("spill_fill", "store-to-load forwarding", _spill_fill, 9),
+        KernelSpec("mdep_chain", "M-dependent load behind a slow store",
+                   _mdep_chain, 11),
+        # extra kernels, outside the default evaluation suite
+        KernelSpec("binary_search", "dependent loads + hard branches",
+                   _binary_search, 80, in_suite=False),
+        KernelSpec("transpose_blocks", "strided column stores",
+                   _transpose_blocks, 16, in_suite=False),
+        KernelSpec("crc_chain", "serial shift/xor chain (ILP ~ 1)",
+                   _crc_chain, 8, in_suite=False),
+    ]
+}
+
+
+def build_trace(
+    name: str, target_ops: int = 20_000, seed: int = 7, max_ops: Optional[int] = None
+) -> Trace:
+    """Build kernel ``name`` sized to roughly ``target_ops`` dynamic micro-ops.
+
+    Args:
+        name: A key of :data:`KERNELS`.
+        target_ops: Desired dynamic trace length (approximate).
+        seed: Seed for data generation (traces are deterministic given it).
+        max_ops: Hard cap for the functional executor.
+
+    Returns:
+        The executed :class:`~repro.workloads.trace.Trace`.
+    """
+    spec = KERNELS[name]
+    iters = max(1, target_ops // spec.ops_per_iter)
+    program, memory = spec.build(iters, seed)
+    limit = max_ops if max_ops is not None else max(4 * target_ops, 100_000)
+    trace = execute(program, memory=memory, max_ops=limit)
+    return trace.truncated(max(target_ops, 64))

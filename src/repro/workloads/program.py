@@ -1,0 +1,219 @@
+"""Program construction DSL.
+
+Workload kernels are written against :class:`ProgramBuilder`, a tiny
+assembler: one method per opcode plus labels for control flow.  ``build()``
+resolves labels and returns an immutable :class:`Program` that the functional
+executor (:mod:`repro.workloads.executor`) can run.
+
+Example::
+
+    b = ProgramBuilder("count")
+    b.li(R[1], 10)
+    b.label("loop")
+    b.addi(R[1], R[1], -1)
+    b.bne(R[1], R[0], "loop")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import opcode
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program: instructions with resolved branch targets.
+
+    Attributes:
+        name: Workload name used in reports.
+        instructions: Static instructions; ``instructions[i].pc == i``.
+        labels: Label -> pc map (useful for tests and disassembly).
+    """
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+    labels: Dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def target_pc(self, label: str) -> int:
+        return self.labels[label]
+
+    def disassemble(self) -> str:
+        """Return a printable listing of the program."""
+        pc_labels: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            pc_labels.setdefault(pc, []).append(label)
+        lines = []
+        for inst in self.instructions:
+            for label in pc_labels.get(inst.pc, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {inst.pc:4d}: {inst}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`Program`.
+
+    Three-operand ops take ``(dest, src1, src2)``; immediates come last.
+    Memory ops use base-register + immediate-offset addressing.
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Attach ``name`` to the pc of the next emitted instruction."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._instructions)
+
+    def _emit(
+        self,
+        op: str,
+        dest: Optional[int] = None,
+        srcs: Sequence[int] = (),
+        imm: int = 0,
+        target: Optional[str] = None,
+    ) -> None:
+        self._instructions.append(
+            Instruction(
+                opcode=opcode(op),
+                dest=dest,
+                srcs=tuple(srcs),
+                imm=imm,
+                target=target,
+                pc=len(self._instructions),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # integer ALU
+    # ------------------------------------------------------------------
+    def add(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("add", rd, (rs1, rs2))
+
+    def addi(self, rd: int, rs1: int, imm: int) -> None:
+        self._emit("addi", rd, (rs1,), imm=imm)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("sub", rd, (rs1, rs2))
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("and", rd, (rs1, rs2))
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("or", rd, (rs1, rs2))
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("xor", rd, (rs1, rs2))
+
+    def shl(self, rd: int, rs1: int, imm: int) -> None:
+        self._emit("shl", rd, (rs1,), imm=imm)
+
+    def shr(self, rd: int, rs1: int, imm: int) -> None:
+        self._emit("shr", rd, (rs1,), imm=imm)
+
+    def slt(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("slt", rd, (rs1, rs2))
+
+    def mov(self, rd: int, rs: int) -> None:
+        self._emit("mov", rd, (rs,))
+
+    def li(self, rd: int, imm: int) -> None:
+        self._emit("li", rd, imm=imm)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("mul", rd, (rs1, rs2))
+
+    def div(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("div", rd, (rs1, rs2))
+
+    def rem(self, rd: int, rs1: int, rs2: int) -> None:
+        self._emit("rem", rd, (rs1, rs2))
+
+    # ------------------------------------------------------------------
+    # floating point
+    # ------------------------------------------------------------------
+    def fadd(self, fd: int, fs1: int, fs2: int) -> None:
+        self._emit("fadd", fd, (fs1, fs2))
+
+    def fsub(self, fd: int, fs1: int, fs2: int) -> None:
+        self._emit("fsub", fd, (fs1, fs2))
+
+    def fmul(self, fd: int, fs1: int, fs2: int) -> None:
+        self._emit("fmul", fd, (fs1, fs2))
+
+    def fdiv(self, fd: int, fs1: int, fs2: int) -> None:
+        self._emit("fdiv", fd, (fs1, fs2))
+
+    def fmov(self, fd: int, fs: int) -> None:
+        self._emit("fmov", fd, (fs,))
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def load(self, rd: int, base: int, offset: int = 0) -> None:
+        """``rd <- mem[base + offset]`` (integer load)."""
+        self._emit("load", rd, (base,), imm=offset)
+
+    def fload(self, fd: int, base: int, offset: int = 0) -> None:
+        """``fd <- mem[base + offset]`` (floating-point load)."""
+        self._emit("fload", fd, (base,), imm=offset)
+
+    def store(self, rs: int, base: int, offset: int = 0) -> None:
+        """``mem[base + offset] <- rs`` (integer store)."""
+        self._emit("store", None, (rs, base), imm=offset)
+
+    def fstore(self, fs: int, base: int, offset: int = 0) -> None:
+        """``mem[base + offset] <- fs`` (floating-point store)."""
+        self._emit("fstore", None, (fs, base), imm=offset)
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def beq(self, rs1: int, rs2: int, target: str) -> None:
+        self._emit("beq", None, (rs1, rs2), target=target)
+
+    def bne(self, rs1: int, rs2: int, target: str) -> None:
+        self._emit("bne", None, (rs1, rs2), target=target)
+
+    def blt(self, rs1: int, rs2: int, target: str) -> None:
+        self._emit("blt", None, (rs1, rs2), target=target)
+
+    def bge(self, rs1: int, rs2: int, target: str) -> None:
+        self._emit("bge", None, (rs1, rs2), target=target)
+
+    def jmp(self, target: str) -> None:
+        self._emit("jmp", target=target)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def nop(self) -> None:
+        self._emit("nop")
+
+    def halt(self) -> None:
+        self._emit("halt")
+
+    def build(self) -> Program:
+        """Resolve labels and return the immutable :class:`Program`."""
+        for inst in self._instructions:
+            if inst.target is not None and inst.target not in self._labels:
+                raise ValueError(f"undefined label: {inst.target}")
+        return Program(
+            name=self.name,
+            instructions=tuple(self._instructions),
+            labels=dict(self._labels),
+        )

@@ -1,0 +1,77 @@
+"""Dynamic traces and trace-level statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from ..isa.instruction import DynOp
+from ..isa.opcodes import OpClass
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A dynamic micro-op stream produced by the functional executor.
+
+    Traces are immutable so that one functional execution can be replayed by
+    many timing configurations (every scheduler sees the identical stream).
+    """
+
+    name: str
+    ops: Tuple[DynOp, ...]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[DynOp]:
+        return iter(self.ops)
+
+    def __getitem__(self, index):
+        return self.ops[index]
+
+    # ------------------------------------------------------------------
+    # summary statistics (useful for workload characterisation tests)
+    # ------------------------------------------------------------------
+    def class_mix(self) -> Dict[OpClass, int]:
+        """Count of micro-ops per :class:`~repro.isa.opcodes.OpClass`."""
+        counts: Counter = Counter(op.opcode.op_class for op in self.ops)
+        return dict(counts)
+
+    @property
+    def num_loads(self) -> int:
+        return sum(1 for op in self.ops if op.is_load)
+
+    @property
+    def num_stores(self) -> int:
+        return sum(1 for op in self.ops if op.is_store)
+
+    @property
+    def num_branches(self) -> int:
+        return sum(1 for op in self.ops if op.is_branch)
+
+    @property
+    def load_fraction(self) -> float:
+        return self.num_loads / len(self.ops) if self.ops else 0.0
+
+    def memory_footprint(self) -> int:
+        """Number of distinct 64-byte cache lines touched."""
+        lines = {op.mem_addr // 64 for op in self.ops if op.mem_addr is not None}
+        return len(lines)
+
+    def truncated(self, max_ops: int) -> "Trace":
+        """Return a prefix of the trace with at most ``max_ops`` micro-ops."""
+        if max_ops >= len(self.ops):
+            return self
+        return Trace(name=self.name, ops=self.ops[:max_ops])
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports and sanity tests."""
+        return {
+            "ops": len(self.ops),
+            "loads": self.num_loads,
+            "stores": self.num_stores,
+            "branches": self.num_branches,
+            "load_fraction": round(self.load_fraction, 4),
+            "lines_touched": self.memory_footprint(),
+        }

@@ -1,0 +1,80 @@
+"""Tests for the experiment runner, caching, and report helpers."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner, format_table, geomean, normalise
+from repro.core import config_for
+from repro.core.stats import SimResult
+
+
+class TestRunner:
+    def _runner(self, tmp_path):
+        return ExperimentRunner(target_ops=1500, cache_dir=str(tmp_path))
+
+    def test_memory_cache(self, tmp_path):
+        runner = self._runner(tmp_path)
+        a = runner.run_arch("histogram", "ooo")
+        b = runner.run_arch("histogram", "ooo")
+        assert runner.simulations_run == 1
+        assert runner.cache_hits == 1
+        assert a.cycles == b.cycles
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        first = self._runner(tmp_path)
+        a = first.run_arch("histogram", "ballerino")
+        second = self._runner(tmp_path)
+        b = second.run_arch("histogram", "ballerino")
+        assert second.simulations_run == 0
+        assert b.cycles == a.cycles
+        assert b.stats.energy_events == a.stats.energy_events
+        assert b.stats.breakdown.averages() == a.stats.breakdown.averages()
+
+    def test_distinct_configs_not_conflated(self, tmp_path):
+        runner = self._runner(tmp_path)
+        runner.run_arch("histogram", "ooo")
+        runner.run_arch("histogram", "inorder")
+        assert runner.simulations_run == 2
+
+    def test_piq_override_changes_key(self, tmp_path):
+        runner = self._runner(tmp_path)
+        runner.run_arch("histogram", "ballerino")
+        runner.run_arch("histogram", "ballerino", num_piqs=11)
+        assert runner.simulations_run == 2
+
+    def test_speedups_over(self, tmp_path):
+        runner = self._runner(tmp_path)
+        speedups = runner.speedups_over(
+            config_for("ooo"), config_for("inorder"), workloads=["hash_probe"]
+        )
+        assert speedups["hash_probe"] > 1.0
+
+    def test_disabled_disk_cache(self):
+        runner = ExperimentRunner(target_ops=1000, cache_dir="")
+        assert runner.cache_dir is None
+        runner.run_arch("histogram", "inorder")
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+        assert geomean([5]) == pytest.approx(5.0)
+        assert geomean([]) == 0.0
+
+    def test_normalise(self):
+        out = normalise({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+        with pytest.raises(ValueError):
+            normalise({"a": 0.0, "b": 1.0}, "a")
+
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [["x", 1.5], ["longer", 2.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in text and "2.250" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,136 @@
+"""Tests for TAGE, bimodal, BTB, and the combined front end."""
+
+import random
+
+import pytest
+
+from repro.frontend import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchTargetBuffer,
+    FrontEnd,
+    TagePredictor,
+)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = BimodalPredictor(256)
+        for _ in range(4):
+            predictor.update(pc=12, taken=True)
+        assert predictor.predict(12) is True
+        for _ in range(4):
+            predictor.update(pc=12, taken=False)
+        assert predictor.predict(12) is False
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(256)
+        for _ in range(4):
+            predictor.update(12, True)
+        predictor.update(12, False)  # one blip must not flip a saturated entry
+        assert predictor.predict(12) is True
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+
+class TestTage:
+    def _train(self, predictor, outcomes, pc=40):
+        correct = 0
+        for taken in outcomes:
+            if predictor.predict(pc) == taken:
+                correct += 1
+            predictor.update(pc, taken)
+        return correct / len(outcomes)
+
+    def test_learns_loop_exit_pattern(self):
+        """A (T,T,T,NT) loop pattern needs history: TAGE should beat bimodal."""
+        pattern = ([True] * 3 + [False]) * 120
+        tage_acc = self._train(TagePredictor(), pattern)
+        bimodal = BimodalPredictor()
+        bi_correct = 0
+        for taken in pattern:
+            if bimodal.predict(40) == taken:
+                bi_correct += 1
+            bimodal.update(40, taken)
+        assert tage_acc > bi_correct / len(pattern)
+        assert tage_acc > 0.9
+
+    def test_learns_alternating_pattern(self):
+        pattern = [True, False] * 200
+        assert self._train(TagePredictor(), pattern) > 0.9
+
+    def test_strong_bias(self):
+        assert self._train(TagePredictor(), [True] * 200) > 0.95
+
+    def test_random_is_hard(self):
+        rng = random.Random(3)
+        pattern = [rng.random() < 0.5 for _ in range(400)]
+        assert self._train(TagePredictor(), pattern) < 0.75
+
+    def test_history_lengths_geometric_and_capped(self):
+        predictor = TagePredictor(num_tables=4, history_bits=17)
+        lengths = predictor.history_lengths
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == 17
+
+    def test_update_without_predict_is_safe(self):
+        predictor = TagePredictor()
+        predictor.update(pc=99, taken=True)  # e.g. state lost after a flush
+
+
+class TestBTB:
+    def test_install_and_lookup(self):
+        btb = BranchTargetBuffer(sets=8, ways=2)
+        assert btb.lookup(100) is None
+        btb.install(100, 7)
+        assert btb.lookup(100) == 7
+
+    def test_update_existing_entry(self):
+        btb = BranchTargetBuffer(sets=8, ways=2)
+        btb.install(100, 7)
+        btb.install(100, 9)
+        assert btb.lookup(100) == 9
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(sets=4, ways=2)
+        # pcs 4, 8, 12 (set = pc & 3): use pcs that collide in set 0
+        btb.install(0, 1)
+        btb.install(4, 2)
+        btb.lookup(0)       # refresh pc 0
+        btb.install(8, 3)   # evicts pc 4
+        assert btb.lookup(0) == 1
+        assert btb.lookup(4) is None
+        assert btb.lookup(8) == 3
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(sets=100)
+
+
+class TestFrontEnd:
+    def test_loop_branch_converges(self):
+        fe = FrontEnd()
+        mispredicts = 0
+        for i in range(300):
+            taken = (i % 10) != 9  # loop of 10
+            pred = fe.predict_branch(pc=20, unconditional=False)
+            if fe.resolve(20, pred, taken, 3 if taken else None, False):
+                mispredicts += 1
+        assert fe.mispredict_rate < 0.3
+
+    def test_unconditional_jump_after_btb_warm(self):
+        fe = FrontEnd()
+        pred = fe.predict_branch(pc=8, unconditional=True)
+        assert pred.taken
+        assert fe.resolve(8, pred, True, 42, True)  # first time: BTB miss
+        pred = fe.predict_branch(pc=8, unconditional=True)
+        assert pred.target == 42
+        assert not fe.resolve(8, pred, True, 42, True)
+
+    def test_always_taken_baseline(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0) is True
+        predictor.update(0, False)
+        assert predictor.predict(0) is True

@@ -1,0 +1,85 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory import Cache
+
+
+def make_cache(size=1024, assoc=2, latency=4):
+    return Cache("test", size, assoc, latency)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+        cache.fill(5, fill_time=10)
+        assert cache.lookup(5) == 10
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_probe_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.fill(5, 0)
+        assert cache.probe(5) == 0
+        assert cache.probe(6) is None
+        assert cache.stats.accesses == 0
+
+    def test_distinct_sets_do_not_interfere(self):
+        cache = make_cache(size=1024, assoc=2)  # 8 sets
+        cache.fill(0, 0)
+        cache.fill(1, 0)
+        assert cache.lookup(0) is not None
+        assert cache.lookup(1) is not None
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        cache = make_cache(size=1024, assoc=2)  # 8 sets: lines 0,8,16 collide
+        cache.fill(0, 0)
+        cache.fill(8, 0)
+        cache.lookup(0)  # make line 0 most-recently used
+        cache.fill(16, 0)  # evicts line 8
+        assert cache.probe(0) is not None
+        assert cache.probe(8) is None
+        assert cache.probe(16) is not None
+        assert cache.stats.evictions == 1
+
+    def test_refill_existing_line_keeps_earlier_time(self):
+        cache = make_cache()
+        cache.fill(3, 100)
+        cache.fill(3, 50)
+        assert cache.probe(3) == 50
+        cache.fill(3, 200)  # later fill must not delay an in-flight line
+        assert cache.probe(3) == 50
+
+    def test_capacity(self):
+        cache = make_cache(size=1024, assoc=2)
+        for line in range(64):
+            cache.fill(line, 0)
+        assert cache.resident_lines() == 16  # 8 sets x 2 ways
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.fill(7, 0)
+        cache.invalidate(7)
+        assert cache.probe(7) is None
+        cache.invalidate(7)  # idempotent
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 96 * 64, 1, 1)
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.lookup(1)
+        cache.fill(1, 0)
+        cache.lookup(1)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_prefetch_fill_counted(self):
+        cache = make_cache()
+        cache.fill(9, 0, prefetch=True)
+        assert cache.stats.prefetch_fills == 1

@@ -1,0 +1,112 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def cli(tmp_path, monkeypatch):
+    """Run the CLI with a temp cache and small traces; capture via capsys."""
+    monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+
+    def run(*argv):
+        return main(["--ops", "1200", *argv])
+
+    return run
+
+
+class TestInformational:
+    def test_workloads_lists_suite(self, cli, capsys):
+        assert cli("workloads") == 0
+        out = capsys.readouterr().out
+        assert "stream_triad" in out
+        assert "pointer_chase" in out
+
+    def test_configs_lists_presets(self, cli, capsys):
+        assert cli("configs") == 0
+        out = capsys.readouterr().out
+        assert "ballerino" in out and "casino" in out and "dnb" in out
+
+    def test_configs_honours_width(self, cli, capsys):
+        assert cli("--width", "4", "configs") == 0
+        assert "2.5 GHz" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_prints_summary(self, cli, capsys):
+        assert cli("simulate", "histogram", "ballerino") == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "decode-to-issue breakdown" in out
+        assert "ballerino-8w" in out
+
+    def test_simulate_rejects_unknown_workload(self, cli):
+        with pytest.raises(SystemExit):
+            cli("simulate", "nosuch", "ooo")
+
+    def test_simulate_rejects_unknown_arch(self, cli):
+        with pytest.raises(SystemExit):
+            cli("simulate", "histogram", "nosuch")
+
+
+class TestCompare:
+    def test_compare_defaults(self, cli, capsys):
+        assert cli("compare", "matmul_tile", "inorder", "ooo") == 0
+        out = capsys.readouterr().out
+        assert "inorder" in out and "ooo" in out and "pJ/op" in out
+
+    def test_compare_unknown_arch_fails_cleanly(self, cli, capsys):
+        assert cli("compare", "matmul_tile", "bogus") == 2
+
+    def test_compare_includes_dnb_extension(self, cli, capsys):
+        assert cli("compare", "matmul_tile", "dnb") == 0
+        assert "dnb" in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_suite_reports_geomean(self, cli, capsys):
+        assert cli("suite", "ces") == 0
+        out = capsys.readouterr().out
+        assert "GEOMEAN" in out
+        assert "speedup/InO" in out
+
+
+class TestFigure:
+    def test_figure_fig13_renders_bars(self, cli, capsys, monkeypatch):
+        from repro.analysis import experiments
+
+        monkeypatch.setattr(
+            experiments, "collect_fig13",
+            lambda runner: {"ces": 1.5, "ballerino": 1.8},
+        )
+        assert cli("figure", "fig13") == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "#" in out
+
+    def test_figure_fig16_uses_energy(self, cli, capsys, monkeypatch):
+        from repro.analysis import experiments
+
+        monkeypatch.setattr(
+            experiments, "collect_energy",
+            lambda runner: {
+                "ooo": {"total": 10.0, "seconds": 1.0},
+                "ballerino": {"total": 8.0, "seconds": 1.05},
+            },
+        )
+        assert cli("figure", "fig16") == 0
+        out = capsys.readouterr().out
+        assert "1/EDP" in out
+
+    def test_figure_rejects_unknown(self, cli):
+        with pytest.raises(SystemExit):
+            cli("figure", "fig99")
+
+
+class TestCharacterize:
+    def test_characterize_lists_suite_limits(self, cli, capsys):
+        assert cli("characterize") == 0
+        out = capsys.readouterr().out
+        assert "dataflow IPC limit" in out
+        assert "pointer_chase" in out

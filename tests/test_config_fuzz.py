@@ -1,0 +1,47 @@
+"""Configuration-space fuzzing: random (legal) configs must all commit.
+
+Catches interactions between structural limits that no hand-written test
+enumerates (tiny ROB + wide issue + small queues + narrow windows...).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import config_for
+from repro.core.pipeline import Pipeline
+from repro.workloads import build_trace
+
+ARCHES = ("inorder", "ooo", "ces", "casino", "fxa", "ballerino", "dnb", "spq")
+
+
+@st.composite
+def fuzzed_config(draw):
+    arch = draw(st.sampled_from(ARCHES))
+    width = draw(st.sampled_from((2, 4, 8)))
+    base = config_for(arch, width=width)
+    rob = draw(st.integers(8, 64))
+    return dataclasses.replace(
+        base,
+        rob_size=rob,
+        lq_size=draw(st.integers(2, 16)),
+        sq_size=draw(st.integers(2, 16)),
+        alloc_queue=draw(st.integers(2, 32)),
+        phys_int=draw(st.integers(40, 96)),
+        phys_fp=draw(st.integers(40, 96)),
+        mdp_enabled=draw(st.booleans()),
+        name=f"{base.name}-fuzz",
+    )
+
+
+@given(config=fuzzed_config(), workload=st.sampled_from(
+    ("histogram", "mixed_int_fp", "spill_fill")))
+@settings(max_examples=25, deadline=None)
+def test_random_configs_commit_fully(config, workload):
+    trace = build_trace(workload, target_ops=700)
+    pipeline = Pipeline(trace, config, check_invariants=True)
+    result = pipeline.run()
+    assert result.stats.committed == len(trace)
+    assert result.stats.issued >= result.stats.committed

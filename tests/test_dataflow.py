@@ -1,0 +1,91 @@
+"""Tests for the dataflow-limit analyzer."""
+
+import pytest
+
+from repro.analysis.dataflow import analyze, characterize_suite
+from repro.core import config_for, simulate
+from repro.isa import R
+from repro.workloads import ProgramBuilder, build_trace, default_suite, execute
+from repro.workloads.suite import SMOKE_NAMES
+
+
+def trace_of(build_fn, name="t", memory=None):
+    b = ProgramBuilder(name)
+    build_fn(b)
+    b.halt()
+    return execute(b.build(), memory=memory)
+
+
+class TestCriticalPath:
+    def test_serial_chain_path_equals_length(self):
+        def body(b):
+            b.li(R[1], 0)
+            for _ in range(10):
+                b.addi(R[1], R[1], 1)
+
+        report = analyze(trace_of(body), memory_dependences=False)
+        # li + 10 serial addis, 1 cycle each
+        assert report.critical_path == 11
+
+    def test_independent_ops_have_short_path(self):
+        def body(b):
+            for lane in range(10):
+                b.li(R[1 + lane % 8], lane)
+
+        report = analyze(trace_of(body))
+        assert report.critical_path <= 2  # everything parallel
+        assert report.ideal_ipc > 5
+
+    def test_latency_weighting(self):
+        def body(b):
+            b.li(R[1], 100)
+            b.li(R[2], 7)
+            b.div(R[3], R[1], R[2])   # 20 cycles
+            b.addi(R[3], R[3], 1)     # serial after the divide
+
+        report = analyze(trace_of(body))
+        assert report.critical_path >= 22
+
+    def test_memory_dependence_serialises(self):
+        def body(b):
+            b.li(R[1], 0x1000)
+            b.li(R[2], 5)
+            b.store(R[2], R[1], 0)
+            b.load(R[3], R[1], 0)  # must follow the store
+            b.addi(R[4], R[3], 1)
+
+        with_mem = analyze(trace_of(body), memory_dependences=True)
+        without = analyze(trace_of(body), memory_dependences=False)
+        assert with_mem.critical_path > without.critical_path
+
+    def test_zero_register_carries_no_dependence(self):
+        def body(b):
+            for _ in range(6):
+                b.addi(R[1], R[0], 1)  # all independent (r0 source)
+
+        report = analyze(trace_of(body))
+        assert report.critical_path <= 2
+
+
+class TestAsOracle:
+    @pytest.mark.parametrize("arch", ["inorder", "ooo", "ces", "casino",
+                                      "fxa", "ballerino", "dnb"])
+    @pytest.mark.parametrize("workload", SMOKE_NAMES)
+    def test_no_scheduler_beats_the_dataflow_limit(self, arch, workload):
+        trace = build_trace(workload, target_ops=1500)
+        limit = analyze(trace).ideal_ipc
+        result = simulate(trace, config_for(arch))
+        assert result.ipc <= limit * 1.001
+
+    def test_suite_characterisation(self):
+        reports = characterize_suite(default_suite(target_ops=1500))
+        assert set(reports) == set(t.name for t in default_suite(1500))
+        # pointer chasing has (almost) no ILP; dag_wide has plenty
+        assert reports["pointer_chase"].ideal_ipc < reports["dag_wide"].ideal_ipc
+
+    def test_bounds_helper(self):
+        trace = build_trace("matmul_tile", target_ops=1500)
+        report = analyze(trace)
+        result = simulate(trace, config_for("ooo"))
+        achieved = report.bounds(result.ipc)
+        assert 0 < achieved <= 1.001

@@ -1,0 +1,94 @@
+"""Tests for the DNB (Delay-and-Bypass) extension scheduler."""
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.isa import R
+from repro.workloads import ProgramBuilder, build_trace, execute
+
+
+def trace_of(build_fn, name="t", memory=None):
+    b = ProgramBuilder(name)
+    build_fn(b)
+    b.halt()
+    return execute(b.build(), memory=memory)
+
+
+class TestConfig:
+    def test_dnb_preset_exists(self):
+        cfg = config_for("dnb")
+        assert cfg.scheduler.kind == "dnb"
+        # the OoO IQ is a quarter of the baseline's (hybrid point)
+        assert cfg.scheduler.iq_size == 24
+
+    def test_dnb_scales_with_width(self):
+        assert config_for("dnb", width=4).scheduler.iq_size == 16
+        assert config_for("dnb", width=2).scheduler.iq_size == 8
+
+
+class TestBehaviour:
+    def test_commits_all_suite_smoke_kernels(self):
+        for name in ("histogram", "dag_wide", "matmul_tile"):
+            trace = build_trace(name, target_ops=1500)
+            result = simulate(trace, config_for("dnb"))
+            assert result.stats.committed == len(trace)
+
+    def test_bypass_captures_ready_work(self):
+        def body(b):
+            b.li(R[10], 100)
+            b.label("top")
+            b.li(R[1], 1)
+            b.li(R[2], 2)
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        result = simulate(trace_of(body), config_for("dnb"))
+        sched = result.stats.scheduler
+        assert sched["issued_bypass"] > 0
+
+    def test_critical_ops_use_the_ooo_iq(self):
+        trace = build_trace("hash_probe", target_ops=3000)
+        result = simulate(trace, config_for("dnb"))
+        sched = result.stats.scheduler
+        assert sched["issued_ooo"] > 0
+
+    def test_noncritical_chains_use_delay_queues(self):
+        trace = build_trace("mixed_int_fp", target_ops=3000)
+        result = simulate(trace, config_for("dnb"))
+        assert result.stats.scheduler["issued_delay"] > 0
+
+    def test_issue_accounting_is_complete(self):
+        trace = build_trace("dag_wide", target_ops=3000)
+        result = simulate(trace, config_for("dnb"))
+        sched = result.stats.scheduler
+        total = (
+            sched["issued_bypass"] + sched["issued_ooo"] + sched["issued_delay"]
+        )
+        assert total == result.stats.issued
+
+    def test_performance_between_inorder_and_ooo(self):
+        trace = build_trace("hash_probe", target_ops=4000)
+        ino = simulate(trace, config_for("inorder"))
+        dnb = simulate(trace, config_for("dnb"))
+        ooo = simulate(trace, config_for("ooo"))
+        assert ooo.cycles <= dnb.cycles <= ino.cycles
+
+    def test_cheaper_wakeup_than_full_ooo(self):
+        trace = build_trace("matmul_tile", target_ops=3000)
+        dnb = simulate(trace, config_for("dnb"))
+        ooo = simulate(trace, config_for("ooo"))
+        assert (
+            dnb.stats.energy_events["wakeup_cam"]
+            < ooo.stats.energy_events["wakeup_cam"]
+        )
+
+    def test_survives_flush_storm(self):
+        import dataclasses
+
+        trace = build_trace("histogram", target_ops=3000)
+        cfg = dataclasses.replace(
+            config_for("dnb"), mdp_enabled=False, name="dnb-nomdp"
+        )
+        result = simulate(trace, cfg)
+        assert result.stats.committed == len(trace)
+        assert result.stats.order_violations > 0

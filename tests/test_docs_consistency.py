@@ -1,0 +1,83 @@
+"""Guards against documentation rot: names and paths the docs rely on."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _ALL_ARCHES
+from repro.core import config_for
+from repro.workloads import KERNELS
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestDocFiles:
+    @pytest.mark.parametrize("path", [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "docs/microarchitecture.md",
+        "docs/adding_a_scheduler.md",
+        "docs/workloads.md",
+        "docs/energy_model.md",
+        "docs/api.md",
+    ])
+    def test_exists_and_nonempty(self, path):
+        file = REPO / path
+        assert file.exists(), f"{path} missing"
+        assert len(file.read_text()) > 500
+
+    def test_readme_references_existing_paths(self):
+        text = (REPO / "README.md").read_text()
+        for path in ("examples/quickstart.py", "examples/custom_workload.py",
+                     "examples/design_space.py", "EXPERIMENTS.md",
+                     "DESIGN.md", "docs/api.md"):
+            assert path in text
+            assert (REPO / path).exists()
+
+
+class TestCliAndConfigAgreement:
+    def test_every_cli_arch_has_a_preset(self):
+        for arch in _ALL_ARCHES:
+            config_for(arch)  # must not raise
+
+    def test_workloads_doc_lists_every_suite_kernel(self):
+        text = (REPO / "docs" / "workloads.md").read_text()
+        for name, spec in KERNELS.items():
+            if spec.in_suite:
+                assert f"`{name}`" in text, f"{name} missing from docs"
+
+
+class TestExamplesAreRunnableFiles:
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "custom_workload.py", "design_space.py",
+        "figure_gallery.py",
+    ])
+    def test_example_compiles(self, name):
+        import py_compile
+
+        py_compile.compile(str(REPO / "examples" / name), doraise=True)
+
+
+class TestBenchmarksCoverEveryFigure:
+    def test_one_bench_per_figure(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        expected = {
+            "bench_fig03_breakdown.py",
+            "bench_fig04_ces_steering.py",
+            "bench_fig06_bottlenecks.py",
+            "bench_fig11_performance.py",
+            "bench_fig12_sched_perf.py",
+            "bench_fig13_steps.py",
+            "bench_fig14_issue_mix.py",
+            "bench_fig15_energy.py",
+            "bench_fig16_efficiency.py",
+            "bench_fig17a_width.py",
+            "bench_fig17b_dvfs.py",
+            "bench_fig17c_piq_count.py",
+            "bench_tables_config.py",
+            "bench_mdp_ablation.py",
+            "bench_ablation_extensions.py",
+            "bench_seed_stability.py",
+        }
+        assert expected <= benches

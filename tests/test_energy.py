@@ -1,0 +1,110 @@
+"""Tests for the energy model and DVFS scaling."""
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.energy import (
+    CATEGORIES,
+    DVFS_LEVELS,
+    EnergyModel,
+    LeakageParams,
+    evaluate_level,
+    sweep_levels,
+)
+from repro.workloads import build_trace
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = build_trace("mixed_int_fp", target_ops=4000)
+    out = {}
+    for arch in ("inorder", "ooo", "ces", "ballerino"):
+        cfg = config_for(arch)
+        out[arch] = (simulate(trace, cfg), cfg)
+    return out
+
+
+class TestEnergyModel:
+    def test_all_categories_present(self, runs):
+        result, cfg = runs["ooo"]
+        report = EnergyModel().evaluate(result, cfg)
+        assert set(report.categories) == set(CATEGORIES)
+        assert report.total_pj > 0
+
+    def test_fractions_sum_to_one(self, runs):
+        result, cfg = runs["ooo"]
+        report = EnergyModel().evaluate(result, cfg)
+        assert abs(sum(report.fractions().values()) - 1.0) < 1e-9
+
+    def test_ooo_scheduling_energy_dominates_ballerino(self, runs):
+        """The headline claim: in-order IQs slash scheduling energy."""
+        ooo_res, ooo_cfg = runs["ooo"]
+        bal_res, bal_cfg = runs["ballerino"]
+        model = EnergyModel()
+        ooo = model.evaluate(ooo_res, ooo_cfg)
+        bal = model.evaluate(bal_res, bal_cfg)
+        assert bal.categories["Schedule"] < ooo.categories["Schedule"]
+        assert bal.total_pj < ooo.total_pj
+
+    def test_ballerino_pays_for_steering_and_mdp(self, runs):
+        bal_res, bal_cfg = runs["ballerino"]
+        report = EnergyModel().evaluate(bal_res, bal_cfg)
+        assert report.categories["Steer"] > 0
+        assert report.categories["MDP"] > 0
+
+    def test_inorder_has_no_steer_or_mdp_energy(self, runs):
+        res, cfg = runs["inorder"]
+        report = EnergyModel().evaluate(res, cfg)
+        assert report.categories["Steer"] == 0
+        assert report.categories["MDP"] == 0
+
+    def test_energy_per_instruction_reasonable(self, runs):
+        res, cfg = runs["ooo"]
+        epi = EnergyModel().evaluate(res, cfg).energy_per_instruction_pj
+        assert 10 < epi < 1000  # sanity band for a core at 22 nm
+
+    def test_leakage_scales_with_structures(self, runs):
+        res, cfg = runs["ooo"]
+        small = EnergyModel(leakage=LeakageParams())
+        large = EnergyModel(
+            leakage=LeakageParams(per_iq_entry=1.0, per_rob_entry=1.0)
+        )
+        assert (
+            large.evaluate(res, cfg).categories["Schedule"]
+            > small.evaluate(res, cfg).categories["Schedule"]
+        )
+
+    def test_edp_and_efficiency_inverse(self, runs):
+        res, cfg = runs["ooo"]
+        report = EnergyModel().evaluate(res, cfg)
+        assert report.efficiency == pytest.approx(1.0 / report.edp)
+
+
+class TestDVFS:
+    def test_levels_match_paper(self):
+        assert DVFS_LEVELS["L4"] == (3.4, 1.04)
+        assert DVFS_LEVELS["L1"] == (2.8, 0.96)
+
+    def test_lower_level_is_slower_but_leaner(self, runs):
+        res, cfg = runs["ballerino"]
+        l4 = evaluate_level(res, cfg, "L4")
+        l1 = evaluate_level(res, cfg, "L1")
+        assert l1.seconds > l4.seconds
+        assert l1.energy_joules < l4.energy_joules
+        assert l1.power_watts < l4.power_watts
+
+    def test_sweep_covers_all_levels(self, runs):
+        res, cfg = runs["ballerino"]
+        points = sweep_levels(res, cfg)
+        assert set(points) == set(DVFS_LEVELS)
+
+    def test_ballerino_vs_ooo_iso_performance(self, runs):
+        """Paper: at the same performance, Ballerino runs at a lower level
+        with better efficiency than OoO needs."""
+        bal_res, bal_cfg = runs["ballerino"]
+        ooo_res, ooo_cfg = runs["ooo"]
+        bal_l4 = evaluate_level(bal_res, bal_cfg, "L4")
+        ooo_l4 = evaluate_level(ooo_res, ooo_cfg, "L4")
+        # similar performance (within ~20%) but less energy
+        assert bal_l4.seconds < ooo_l4.seconds * 1.25
+        assert bal_l4.energy_joules < ooo_l4.energy_joules

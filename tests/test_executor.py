@@ -1,0 +1,249 @@
+"""Unit tests for the functional executor's ISA semantics."""
+
+import pytest
+
+from repro.isa import F, R
+from repro.workloads import (
+    ExecutionLimitExceeded,
+    FunctionalExecutor,
+    ProgramBuilder,
+    execute,
+)
+
+
+def run(build_fn, memory=None, registers=None):
+    """Build a program with ``build_fn(builder)``, run it, return executor."""
+    b = ProgramBuilder("t")
+    build_fn(b)
+    b.halt()
+    ex = FunctionalExecutor(b.build(), memory=memory, registers=registers)
+    trace = ex.run()
+    return ex, trace
+
+
+class TestArithmetic:
+    def test_add_addi_sub(self):
+        def body(b):
+            b.li(R[1], 10)
+            b.addi(R[2], R[1], 5)
+            b.add(R[3], R[1], R[2])
+            b.sub(R[4], R[3], R[1])
+
+        ex, _ = run(body)
+        assert ex.registers[R[2]] == 15
+        assert ex.registers[R[3]] == 25
+        assert ex.registers[R[4]] == 15
+
+    def test_logical_and_shifts(self):
+        def body(b):
+            b.li(R[1], 0b1100)
+            b.li(R[2], 0b1010)
+            b.and_(R[3], R[1], R[2])
+            b.or_(R[4], R[1], R[2])
+            b.xor(R[5], R[1], R[2])
+            b.shl(R[6], R[1], 2)
+            b.shr(R[7], R[1], 2)
+
+        ex, _ = run(body)
+        assert ex.registers[R[3]] == 0b1000
+        assert ex.registers[R[4]] == 0b1110
+        assert ex.registers[R[5]] == 0b0110
+        assert ex.registers[R[6]] == 0b110000
+        assert ex.registers[R[7]] == 0b11
+
+    def test_mul_div_rem(self):
+        def body(b):
+            b.li(R[1], 17)
+            b.li(R[2], 5)
+            b.mul(R[3], R[1], R[2])
+            b.div(R[4], R[1], R[2])
+            b.rem(R[5], R[1], R[2])
+
+        ex, _ = run(body)
+        assert ex.registers[R[3]] == 85
+        assert ex.registers[R[4]] == 3
+        assert ex.registers[R[5]] == 2
+
+    def test_divide_by_zero_yields_zero(self):
+        def body(b):
+            b.li(R[1], 9)
+            b.div(R[2], R[1], R[0])
+            b.rem(R[3], R[1], R[0])
+
+        ex, _ = run(body)
+        assert ex.registers[R[2]] == 0
+        assert ex.registers[R[3]] == 0
+
+    def test_slt_and_mov(self):
+        def body(b):
+            b.li(R[1], 3)
+            b.li(R[2], 7)
+            b.slt(R[3], R[1], R[2])
+            b.slt(R[4], R[2], R[1])
+            b.mov(R[5], R[2])
+
+        ex, _ = run(body)
+        assert ex.registers[R[3]] == 1
+        assert ex.registers[R[4]] == 0
+        assert ex.registers[R[5]] == 7
+
+    def test_r0_is_hardwired_zero(self):
+        def body(b):
+            b.li(R[0], 42)  # write is discarded
+            b.add(R[1], R[0], R[0])
+
+        ex, _ = run(body)
+        assert ex.registers[R[0]] == 0
+        assert ex.registers[R[1]] == 0
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic(self):
+        def body(b):
+            b.li(F[1], 6)
+            b.li(F[2], 4)
+            b.fadd(F[3], F[1], F[2])
+            b.fsub(F[4], F[1], F[2])
+            b.fmul(F[5], F[1], F[2])
+            b.fdiv(F[6], F[1], F[2])
+            b.fmov(F[7], F[6])
+
+        ex, _ = run(body)
+        assert ex.registers[F[3]] == 10
+        assert ex.registers[F[4]] == 2
+        assert ex.registers[F[5]] == 24
+        assert ex.registers[F[6]] == 1.5
+        assert ex.registers[F[7]] == 1.5
+
+    def test_fdiv_by_zero_yields_zero(self):
+        def body(b):
+            b.li(F[1], 5)
+            b.fdiv(F[2], F[1], F[0])
+
+        ex, _ = run(body)
+        assert ex.registers[F[2]] == 0.0
+
+
+class TestMemory:
+    def test_load_store_round_trip(self):
+        def body(b):
+            b.li(R[1], 0x1000)
+            b.li(R[2], 99)
+            b.store(R[2], R[1], 8)
+            b.load(R[3], R[1], 8)
+
+        ex, _ = run(body)
+        assert ex.memory[0x1008] == 99
+        assert ex.registers[R[3]] == 99
+
+    def test_uninitialised_load_returns_zero(self):
+        def body(b):
+            b.li(R[1], 0x2000)
+            b.load(R[2], R[1], 0)
+
+        ex, _ = run(body)
+        assert ex.registers[R[2]] == 0
+
+    def test_initial_memory_image(self):
+        def body(b):
+            b.li(R[1], 0x40)
+            b.load(R[2], R[1], 0)
+
+        ex, _ = run(body, memory={0x40: 123})
+        assert ex.registers[R[2]] == 123
+
+    def test_trace_records_addresses(self):
+        def body(b):
+            b.li(R[1], 0x100)
+            b.store(R[1], R[1], 0)
+            b.load(R[2], R[1], 0)
+
+        _, trace = run(body)
+        mem_ops = [op for op in trace if op.is_mem]
+        assert [op.mem_addr for op in mem_ops] == [0x100, 0x100]
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        def body(b):
+            b.li(R[1], 4)
+            b.label("top")
+            b.addi(R[1], R[1], -1)
+            b.bne(R[1], R[0], "top")
+
+        ex, trace = run(body)
+        assert ex.registers[R[1]] == 0
+        branches = [op for op in trace if op.is_branch]
+        assert [op.taken for op in branches] == [True, True, True, False]
+
+    def test_beq_blt_bge(self):
+        def body(b):
+            b.li(R[1], 5)
+            b.li(R[2], 5)
+            b.beq(R[1], R[2], "eq")
+            b.li(R[9], 111)  # skipped
+            b.label("eq")
+            b.blt(R[1], R[2], "never")
+            b.bge(R[1], R[2], "ge")
+            b.li(R[9], 222)  # skipped
+            b.label("ge")
+            b.li(R[3], 1)
+            b.label("never")
+
+        ex, _ = run(body)
+        assert ex.registers[R[9]] == 0
+        assert ex.registers[R[3]] == 1
+
+    def test_jmp_is_always_taken(self):
+        def body(b):
+            b.jmp("end")
+            b.li(R[1], 5)  # skipped
+            b.label("end")
+
+        ex, trace = run(body)
+        assert ex.registers[R[1]] == 0
+        assert trace[0].taken is True
+
+    def test_branch_trace_targets(self):
+        def body(b):
+            b.li(R[1], 1)
+            b.label("top")
+            b.addi(R[1], R[1], -1)
+            b.bne(R[1], R[0], "top")
+
+        _, trace = run(body)
+        branch = [op for op in trace if op.is_branch][0]
+        assert branch.target_pc == 1
+        assert branch.fallthrough_pc == branch.pc + 1
+
+
+class TestExecutorLimits:
+    def test_infinite_loop_hits_limit(self):
+        b = ProgramBuilder("spin")
+        b.label("spin")
+        b.jmp("spin")
+        b.halt()
+        with pytest.raises(ExecutionLimitExceeded):
+            execute(b.build(), max_ops=100)
+
+    def test_trace_is_deterministic(self):
+        b = ProgramBuilder("d")
+        b.li(R[1], 10)
+        b.label("top")
+        b.addi(R[1], R[1], -1)
+        b.bne(R[1], R[0], "top")
+        b.halt()
+        program = b.build()
+        t1 = execute(program)
+        t2 = execute(program)
+        assert len(t1) == len(t2)
+        assert all(a.pc == b_.pc and a.taken == b_.taken
+                   for a, b_ in zip(t1, t2))
+
+    def test_halt_is_last_op(self):
+        b = ProgramBuilder("h")
+        b.nop()
+        b.halt()
+        trace = execute(b.build())
+        assert trace[-1].opcode.name == "halt"
+        assert len(trace) == 2

@@ -1,0 +1,125 @@
+"""Property test: the functional executor against a direct Python oracle.
+
+Hypothesis generates random straight-line arithmetic programs; a tiny
+Python mirror evaluates the same operations directly.  Any divergence is
+an executor semantics bug.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import F, R
+from repro.workloads import FunctionalExecutor, ProgramBuilder
+
+_INT_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and_": lambda a, b: a & b,
+    "or_": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: 0 if b == 0 else a // b,
+    "rem": lambda a, b: 0 if b == 0 else a % b,
+    "slt": lambda a, b: 1 if a < b else 0,
+}
+
+op_strategy = st.tuples(
+    st.sampled_from(sorted(_INT_BINOPS)),
+    st.integers(1, 7),  # rd
+    st.integers(0, 7),  # rs1 (0 = hardwired zero)
+    st.integers(0, 7),  # rs2
+)
+
+imm_op_strategy = st.tuples(
+    st.sampled_from(["addi", "shl", "shr", "li"]),
+    st.integers(1, 7),
+    st.integers(0, 7),
+    st.integers(0, 15),  # immediate / shift amount
+)
+
+
+@given(
+    init=st.lists(st.integers(-1000, 1000), min_size=7, max_size=7),
+    binops=st.lists(op_strategy, max_size=40),
+    immops=st.lists(imm_op_strategy, max_size=20),
+)
+@settings(max_examples=120, deadline=None)
+def test_executor_matches_python_oracle(init, binops, immops):
+    regs = [0] * 8
+    b = ProgramBuilder("oracle")
+    for i, value in enumerate(init, start=1):
+        b.li(R[i], value)
+        regs[i] = value
+    # interleave the two op streams deterministically
+    stream = []
+    for index in range(max(len(binops), len(immops))):
+        if index < len(binops):
+            stream.append(("bin", binops[index]))
+        if index < len(immops):
+            stream.append(("imm", immops[index]))
+    for kind, op in stream:
+        if kind == "bin":
+            name, rd, rs1, rs2 = op
+            getattr(b, name)(R[rd], R[rs1], R[rs2])
+            regs[rd] = _INT_BINOPS[name](regs[rs1], regs[rs2])
+        else:
+            name, rd, rs1, imm = op
+            if name == "addi":
+                b.addi(R[rd], R[rs1], imm)
+                regs[rd] = regs[rs1] + imm
+            elif name == "shl":
+                b.shl(R[rd], R[rs1], imm)
+                regs[rd] = regs[rs1] << imm
+            elif name == "shr":
+                b.shr(R[rd], R[rs1], imm)
+                regs[rd] = regs[rs1] >> imm
+            else:
+                b.li(R[rd], imm)
+                regs[rd] = imm
+    b.halt()
+    executor = FunctionalExecutor(b.build())
+    executor.run()
+    for i in range(8):
+        assert executor.registers[R[i]] == regs[i], f"r{i} diverged"
+
+
+@given(
+    values=st.lists(st.integers(-100, 100), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_memory_store_load_oracle(values):
+    """Store a list, reload it, sum it — matches Python's sum()."""
+    b = ProgramBuilder("memsum")
+    b.li(R[1], 0x1000)
+    for i, value in enumerate(values):
+        b.li(R[2], value)
+        b.store(R[2], R[1], 8 * i)
+    b.li(R[3], 0)
+    for i in range(len(values)):
+        b.load(R[4], R[1], 8 * i)
+        b.add(R[3], R[3], R[4])
+    b.halt()
+    executor = FunctionalExecutor(b.build())
+    executor.run()
+    assert executor.registers[R[3]] == sum(values)
+
+
+@given(
+    n=st.integers(1, 30),
+)
+@settings(max_examples=30, deadline=None)
+def test_loop_iteration_count_oracle(n):
+    """A countdown loop executes exactly n iterations."""
+    b = ProgramBuilder("count")
+    b.li(R[1], n)
+    b.label("top")
+    b.addi(R[2], R[2], 1)
+    b.addi(R[1], R[1], -1)
+    b.bne(R[1], R[0], "top")
+    b.halt()
+    executor = FunctionalExecutor(b.build())
+    trace = executor.run()
+    assert executor.registers[R[2]] == n
+    branches = [op for op in trace if op.is_branch]
+    assert sum(1 for op in branches if op.taken) == n - 1

@@ -1,0 +1,99 @@
+"""Tests for the paper-vs-measured report collectors (small workload set)."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.analysis.experiments import (
+    collect_energy,
+    collect_fig11,
+    collect_fig13,
+    collect_fig14_siq_share,
+    collect_fig17c,
+    collect_mdp,
+)
+from repro.core import FIG11_ARCHES, FIG13_ARCHES
+
+WORKLOADS = ("histogram", "dag_wide")
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        target_ops=1200,
+        cache_dir=str(tmp_path_factory.mktemp("exp_cache")),
+    )
+
+
+def test_fig11_collector(runner):
+    data = collect_fig11(runner, workloads=WORKLOADS)
+    assert set(data) == set(FIG11_ARCHES)
+    assert data["inorder"] == pytest.approx(1.0)
+    assert all(v > 0 for v in data.values())
+
+
+def test_fig13_collector(runner):
+    data = collect_fig13(runner, workloads=WORKLOADS)
+    assert set(data) == set(FIG13_ARCHES)
+
+
+def test_fig14_collector(runner):
+    share = collect_fig14_siq_share(runner, workloads=WORKLOADS)
+    assert 0.0 < share < 1.0
+
+
+def test_energy_collector(runner):
+    data = collect_energy(runner, workloads=WORKLOADS)
+    assert "ooo" in data and "ballerino" in data
+    for entry in data.values():
+        assert entry["total"] > 0
+        assert entry["schedule"] > 0
+        assert entry["seconds"] > 0
+    assert data["ballerino"]["schedule"] < data["ooo"]["schedule"]
+
+
+def test_fig17c_collector(runner):
+    data = collect_fig17c(runner, workloads=WORKLOADS)
+    assert set(data) == {3, 7, 11, 15}
+    assert data[11] >= data[3] * 0.9
+
+
+def test_mdp_collector(runner):
+    data = collect_mdp(runner)
+    assert data["violation_reduction"] > 0
+    assert data["speedup"] > 0
+
+
+def test_build_report_renders_markdown(monkeypatch, runner):
+    """The report generator end to end, with stubbed collectors."""
+    from repro.analysis import experiments
+
+    fig11 = {arch: 2.0 for arch in FIG11_ARCHES}
+    fig11["inorder"] = 1.0
+    monkeypatch.setattr(experiments, "_fig11", lambda r, workloads=None: fig11)
+    monkeypatch.setattr(
+        experiments, "_fig13",
+        lambda r, workloads=None: {arch: 1.8 for arch in FIG13_ARCHES},
+    )
+    monkeypatch.setattr(experiments, "_fig14", lambda r, workloads=None: 0.41)
+    monkeypatch.setattr(
+        experiments, "_energy",
+        lambda r, workloads=None: {
+            arch: {"total": 100.0, "schedule": 20.0, "seconds": 1.0}
+            for arch in ("ces", "casino", "fxa", "ballerino",
+                         "ballerino12", "ooo")
+        },
+    )
+    monkeypatch.setattr(
+        experiments, "_fig17c",
+        lambda r, workloads=None: {3: 0.9, 7: 0.95, 11: 0.97, 15: 0.98},
+    )
+    monkeypatch.setattr(
+        experiments, "_mdp",
+        lambda r: {"speedup": 1.5, "violation_reduction": 0.96},
+    )
+    report = experiments.build_report(runner)
+    assert report.startswith("# EXPERIMENTS")
+    for heading in ("Figure 11", "Figure 13", "Figure 14",
+                    "Figures 15 & 16", "Figure 17c", "SIII-B"):
+        assert heading in report
+    assert "41%" in report  # the stubbed S-IQ share made it into prose

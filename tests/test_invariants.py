@@ -1,0 +1,59 @@
+"""Pipeline-wide invariant checks under stress (debug mode)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import config_for
+from repro.core.pipeline import Pipeline
+from repro.workloads import build_trace
+
+ARCHES = ("inorder", "ooo", "ces", "casino", "fxa", "ballerino", "dnb")
+
+
+@pytest.mark.parametrize("arch", ARCHES)
+def test_invariants_hold_on_normal_execution(arch):
+    trace = build_trace("mixed_int_fp", target_ops=1500)
+    pipeline = Pipeline(trace, config_for(arch), check_invariants=True)
+    result = pipeline.run()
+    assert result.stats.committed == len(trace)
+
+
+@pytest.mark.parametrize("arch", ("ooo", "ces", "ballerino", "dnb"))
+def test_invariants_hold_under_violation_storm(arch):
+    """No MDP: frequent memory-order squashes stress flush paths."""
+    trace = build_trace("histogram", target_ops=2500)
+    cfg = dataclasses.replace(
+        config_for(arch), mdp_enabled=False, name=f"{arch}-nomdp"
+    )
+    pipeline = Pipeline(trace, cfg, check_invariants=True)
+    result = pipeline.run()
+    assert result.stats.committed == len(trace)
+    assert result.stats.order_violations > 0
+
+
+@pytest.mark.parametrize("arch", ("casino", "ballerino", "fxa"))
+def test_invariants_hold_under_mispredict_storm(arch):
+    trace = build_trace("branchy_count", target_ops=2500)
+    pipeline = Pipeline(trace, config_for(arch), check_invariants=True)
+    result = pipeline.run()
+    assert result.stats.committed == len(trace)
+    assert result.stats.branch_mispredicts > 10
+
+
+def test_invariants_with_tiny_structures():
+    """Every structural limit simultaneously tight."""
+    trace = build_trace("histogram", target_ops=1200)
+    cfg = dataclasses.replace(
+        config_for("ballerino"),
+        rob_size=12,
+        lq_size=4,
+        sq_size=3,
+        phys_int=40,
+        phys_fp=40,
+        alloc_queue=4,
+        name="ballerino-tiny",
+    )
+    pipeline = Pipeline(trace, cfg, check_invariants=True)
+    result = pipeline.run()
+    assert result.stats.committed == len(trace)

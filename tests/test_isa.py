@@ -1,0 +1,130 @@
+"""Unit tests for the micro-op ISA."""
+
+import pytest
+
+from repro.isa import (
+    DynOp,
+    F,
+    NUM_ARCH_REGS,
+    NUM_INT_REGS,
+    OPCODES,
+    OpClass,
+    R,
+    ZERO,
+    fp_reg,
+    int_reg,
+    is_fp,
+    opcode,
+    reg_name,
+)
+
+
+class TestOpcodes:
+    def test_table_is_closed_and_consistent(self):
+        for name, op in OPCODES.items():
+            assert op.name == name
+            assert op.latency >= 1
+
+    def test_loads_read_memory(self):
+        assert opcode("load").reads_memory
+        assert opcode("fload").reads_memory
+        assert not opcode("load").writes_memory
+
+    def test_stores_write_memory(self):
+        assert opcode("store").writes_memory
+        assert opcode("fstore").writes_memory
+        assert not opcode("store").reads_memory
+
+    def test_branches(self):
+        for name in ("beq", "bne", "blt", "bge", "jmp"):
+            assert opcode(name).is_branch
+
+    def test_divides_are_unpipelined(self):
+        assert not opcode("div").pipelined
+        assert not opcode("fdiv").pipelined
+        assert not opcode("rem").pipelined
+
+    def test_alu_is_single_cycle(self):
+        for name in ("add", "sub", "xor", "mov", "li", "slt"):
+            assert opcode(name).latency == 1
+            assert opcode(name).pipelined
+
+    def test_latency_ordering(self):
+        # mul < div, fp add < fp div: the Table I latency relationships
+        assert opcode("mul").latency < opcode("div").latency
+        assert opcode("fadd").latency < opcode("fdiv").latency
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            opcode("bogus")
+
+    def test_memory_class_flag(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+
+class TestRegisters:
+    def test_int_and_fp_namespaces_disjoint(self):
+        assert R[0] == 0
+        assert F[0] == NUM_INT_REGS
+        assert not is_fp(R[31])
+        assert is_fp(F[0])
+
+    def test_reg_name_round_trip(self):
+        assert reg_name(R[7]) == "r7"
+        assert reg_name(F[3]) == "f3"
+
+    def test_zero_register(self):
+        assert ZERO == R[0] == 0
+
+    def test_bounds_checking(self):
+        with pytest.raises(IndexError):
+            R[32]
+        with pytest.raises(IndexError):
+            F[32]
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+
+    def test_attribute_access(self):
+        assert R.r5 == 5
+        assert F.f1 == NUM_INT_REGS + 1
+        with pytest.raises(AttributeError):
+            R.x5
+
+
+class TestDynOp:
+    def _op(self, name, **kw):
+        defaults = dict(seq=0, pc=0, opcode=opcode(name), dest=None, srcs=())
+        defaults.update(kw)
+        return DynOp(**defaults)
+
+    def test_load_properties(self):
+        op = self._op("load", dest=R[1], srcs=(R[2],), mem_addr=0x100)
+        assert op.is_load and op.is_mem and not op.is_store
+
+    def test_branch_next_pc_taken(self):
+        op = self._op("bne", taken=True, target_pc=5, fallthrough_pc=11, pc=10)
+        assert op.next_pc == 5
+
+    def test_branch_next_pc_not_taken(self):
+        op = self._op("bne", taken=False, target_pc=5, fallthrough_pc=11, pc=10)
+        assert op.next_pc == 11
+
+    def test_non_branch_next_pc(self):
+        op = self._op("add", dest=R[1], srcs=(R[2], R[3]), fallthrough_pc=4, pc=3)
+        assert op.next_pc == 4
+
+    def test_immutable(self):
+        op = self._op("add", dest=R[1], srcs=(R[2], R[3]))
+        with pytest.raises(Exception):
+            op.dest = R[5]
+
+    def test_str_contains_mnemonic(self):
+        op = self._op("load", dest=R[1], srcs=(R[2],), mem_addr=0x40)
+        text = str(op)
+        assert "load" in text and "r1" in text and "0x40" in text

@@ -1,0 +1,124 @@
+"""Tests for the workload kernels and the suite."""
+
+import pytest
+
+from repro.workloads import KERNELS, SUITE_NAMES, build_trace, default_suite, get_trace
+from repro.workloads.suite import SMOKE_NAMES
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_builds_and_traces(name):
+    trace = build_trace(name, target_ops=1500)
+    assert len(trace) >= 64
+    assert len(trace) <= 1500
+    # every kernel must exercise memory and control flow
+    assert trace.num_branches > 0
+    if name != "spill_fill":
+        assert trace.num_loads > 0
+
+
+def test_suite_names_are_the_in_suite_kernels():
+    assert set(SUITE_NAMES) == {
+        name for name, spec in KERNELS.items() if spec.in_suite
+    }
+    assert len(SUITE_NAMES) == 13
+    assert set(SMOKE_NAMES) <= set(SUITE_NAMES)
+
+
+def test_extra_kernels_exist_but_stay_out_of_the_suite():
+    extras = {name for name, spec in KERNELS.items() if not spec.in_suite}
+    assert {"binary_search", "transpose_blocks", "crc_chain"} <= extras
+    assert not extras & set(SUITE_NAMES)
+
+
+def test_crc_chain_is_serial():
+    from repro.analysis.dataflow import analyze
+
+    trace = build_trace("crc_chain", target_ops=2000)
+    report = analyze(trace)
+    assert report.ideal_ipc < 3.0  # dominated by the serial xor chain
+
+
+def test_binary_search_branches_are_hard():
+    trace = build_trace("binary_search", target_ops=4000)
+    cond = [op for op in trace if op.is_branch and op.opcode.name == "blt"]
+    takens = sum(1 for op in cond if op.taken)
+    assert 0.15 < takens / len(cond) < 0.85
+
+
+def test_trace_length_scales_with_target():
+    short = build_trace("stream_triad", target_ops=1000)
+    long = build_trace("stream_triad", target_ops=4000)
+    assert len(long) > 2 * len(short)
+
+
+def test_traces_are_seed_deterministic():
+    t1 = build_trace("hash_probe", target_ops=1000, seed=3)
+    t2 = build_trace("hash_probe", target_ops=1000, seed=3)
+    assert [op.mem_addr for op in t1] == [op.mem_addr for op in t2]
+
+
+def test_different_seeds_change_data_dependent_traces():
+    t1 = build_trace("pointer_chase", target_ops=1000, seed=1)
+    t2 = build_trace("pointer_chase", target_ops=1000, seed=2)
+    addrs1 = [op.mem_addr for op in t1 if op.is_load]
+    addrs2 = [op.mem_addr for op in t2 if op.is_load]
+    assert addrs1 != addrs2
+
+
+def test_pointer_chase_is_serial():
+    """Each load's address equals the previous load's value (same chain)."""
+    trace = build_trace("pointer_chase", target_ops=1000)
+    load_addrs = [op.mem_addr for op in trace if op.is_load]
+    # a randomly permuted chain never repeats a node within the walk
+    assert len(set(load_addrs)) == len(load_addrs)
+
+
+def test_histogram_has_store_load_aliasing():
+    trace = build_trace("histogram", target_ops=2000)
+    store_addrs = {op.mem_addr for op in trace if op.is_store}
+    load_addrs = [op.mem_addr for op in trace if op.is_load]
+    aliased = sum(1 for addr in load_addrs if addr in store_addrs)
+    assert aliased > len(load_addrs) * 0.2
+
+
+def test_stream_triad_is_unit_stride():
+    trace = build_trace("stream_triad", target_ops=1500)
+    loads = [op.mem_addr for op in trace if op.is_load]
+    region_b = sorted(a for a in loads if a < 0x100_0000)
+    deltas = {b - a for a, b in zip(region_b, region_b[1:])}
+    assert deltas == {8}
+
+
+def test_dag_wide_has_parallel_loads():
+    trace = build_trace("dag_wide", target_ops=2000)
+    assert trace.load_fraction > 0.2
+
+
+def test_gather_stride_spreads_lines():
+    trace = build_trace("gather_stride", target_ops=1000)
+    assert trace.memory_footprint() > 100
+
+
+def test_spill_fill_reuses_one_line():
+    trace = build_trace("spill_fill", target_ops=1000)
+    assert trace.memory_footprint() == 1
+
+
+def test_get_trace_is_cached():
+    a = get_trace("matmul_tile", 1000, 7)
+    b = get_trace("matmul_tile", 1000, 7)
+    assert a is b
+
+
+def test_default_suite_returns_all():
+    traces = default_suite(target_ops=1000, names=SMOKE_NAMES)
+    assert [t.name for t in traces] == list(SMOKE_NAMES)
+
+
+def test_branchy_count_branches_are_data_dependent():
+    trace = build_trace("branchy_count", target_ops=2000)
+    # the threshold branch should be taken a non-trivial mixed fraction
+    cond = [op for op in trace if op.is_branch and op.opcode.name == "blt"]
+    takens = sum(1 for op in cond if op.taken)
+    assert 0.2 < takens / len(cond) < 0.9

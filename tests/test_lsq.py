@@ -1,0 +1,141 @@
+"""Tests for the load/store unit: forwarding and violation detection."""
+
+import pytest
+
+from repro.lsq import LoadStoreUnit
+
+
+class TestAllocation:
+    def test_capacity(self):
+        lsu = LoadStoreUnit(lq_size=2, sq_size=1)
+        lsu.allocate_load(0, pc=1)
+        lsu.allocate_load(1, pc=2)
+        assert lsu.lq_full()
+        with pytest.raises(RuntimeError):
+            lsu.allocate_load(2, pc=3)
+        lsu.allocate_store(3, pc=4)
+        assert lsu.sq_full()
+
+    def test_commit_frees_entries(self):
+        lsu = LoadStoreUnit(lq_size=1, sq_size=1)
+        lsu.allocate_load(0, pc=1)
+        lsu.commit_load(0)
+        assert not lsu.lq_full()
+        lsu.allocate_store(1, pc=2)
+        lsu.store_address_ready(1, addr=0x40, cycle=5)
+        entry = lsu.commit_store(1)
+        assert entry.addr == 0x40
+        assert not lsu.sq_full()
+
+
+class TestForwarding:
+    def test_forwards_from_matching_older_store(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.allocate_load(1, pc=2)
+        lsu.store_address_ready(0, 0x100, cycle=3)
+        lsu.store_data_ready(0, cycle=3)
+        fw = lsu.load_executing(1, 0x100, cycle=5)
+        assert fw.forwarded
+        assert fw.source_seq == 0
+        assert fw.ready_cycle == 3
+
+    def test_youngest_older_store_wins(self):
+        lsu = LoadStoreUnit()
+        for seq in (0, 1):
+            lsu.allocate_store(seq, pc=seq)
+            lsu.store_address_ready(seq, 0x100, cycle=seq)
+            lsu.store_data_ready(seq, cycle=seq)
+        lsu.allocate_load(2, pc=9)
+        fw = lsu.load_executing(2, 0x100, cycle=5)
+        assert fw.source_seq == 1
+
+    def test_younger_store_is_invisible(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_load(0, pc=1)
+        lsu.allocate_store(1, pc=2)
+        lsu.store_address_ready(1, 0x100, cycle=0)
+        fw = lsu.load_executing(0, 0x100, cycle=5)
+        assert not fw.forwarded
+
+    def test_different_address_goes_to_memory(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.store_address_ready(0, 0x100, cycle=0)
+        lsu.allocate_load(1, pc=2)
+        fw = lsu.load_executing(1, 0x108, cycle=5)
+        assert not fw.forwarded
+
+    def test_forward_before_data_ready_reports_none(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.store_address_ready(0, 0x100, cycle=0)
+        lsu.allocate_load(1, pc=2)
+        fw = lsu.load_executing(1, 0x100, cycle=5)
+        assert fw.forwarded and fw.ready_cycle is None
+
+
+class TestViolations:
+    def test_load_before_store_same_addr_violates(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.allocate_load(1, pc=2)
+        lsu.load_executing(1, 0x200, cycle=3)
+        lsu.load_executed(1, cycle=3, source_seq=-1)
+        violators = lsu.store_address_ready(0, 0x200, cycle=10)
+        assert violators == [1]
+        assert lsu.violations == 1
+
+    def test_no_violation_for_different_addr(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.allocate_load(1, pc=2)
+        lsu.load_executing(1, 0x200, cycle=3)
+        lsu.load_executed(1, cycle=3)
+        assert lsu.store_address_ready(0, 0x300, cycle=10) == []
+
+    def test_no_violation_if_load_not_yet_executed(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        lsu.allocate_load(1, pc=2)
+        lsu.load_executing(1, 0x200, cycle=3)  # address known, no value yet
+        assert lsu.store_address_ready(0, 0x200, cycle=10) == []
+
+    def test_no_violation_if_load_forwarded_from_younger_store(self):
+        """Load got its value from a store younger than the resolving one."""
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)  # resolves late
+        lsu.allocate_store(1, pc=2)  # the actual producer
+        lsu.store_address_ready(1, 0x200, cycle=2)
+        lsu.store_data_ready(1, cycle=2)
+        lsu.allocate_load(2, pc=3)
+        fw = lsu.load_executing(2, 0x200, cycle=4)
+        lsu.load_executed(2, cycle=5, source_seq=fw.source_seq)
+        assert lsu.store_address_ready(0, 0x200, cycle=10) == []
+
+    def test_multiple_violators_sorted(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=1)
+        for seq in (2, 1):
+            lsu.allocate_load(seq, pc=seq)
+            lsu.load_executing(seq, 0x200, cycle=3)
+            lsu.load_executed(seq, cycle=3)
+        assert lsu.store_address_ready(0, 0x200, cycle=10) == [1, 2]
+
+
+class TestFlush:
+    def test_flush_removes_younger_entries(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=10)
+        lsu.allocate_load(1, pc=11)
+        lsu.allocate_store(2, pc=12)
+        flushed = lsu.flush_from(1)
+        assert flushed == [(2, 12)]
+        assert lsu.sq_occupancy == 1
+        assert lsu.lq_occupancy == 0
+
+    def test_flushed_store_resolution_is_ignored(self):
+        lsu = LoadStoreUnit()
+        lsu.allocate_store(0, pc=10)
+        lsu.flush_from(0)
+        assert lsu.store_address_ready(0, 0x40, cycle=5) == []

@@ -1,0 +1,131 @@
+"""Tests for the store-set memory dependence predictor."""
+
+import pytest
+
+from repro.lsq import StoreSetPredictor
+
+
+LOAD_PC, STORE_PC, OTHER_STORE_PC = 100, 200, 300
+
+
+class TestTraining:
+    def test_untrained_pair_has_no_dependence(self):
+        mdp = StoreSetPredictor()
+        assert mdp.load_dispatched(LOAD_PC) is None
+        assert mdp.store_dispatched(STORE_PC, seq=1) is None
+
+    def test_violation_creates_store_set(self):
+        mdp = StoreSetPredictor()
+        mdp.train_violation(LOAD_PC, STORE_PC)
+        assert mdp.ssid_of(LOAD_PC) is not None
+        assert mdp.ssid_of(LOAD_PC) == mdp.ssid_of(STORE_PC)
+
+    def test_merge_rule_takes_minimum(self):
+        mdp = StoreSetPredictor()
+        mdp.train_violation(LOAD_PC, STORE_PC)  # ssid A
+        mdp.train_violation(101, OTHER_STORE_PC)  # ssid B
+        mdp.train_violation(LOAD_PC, OTHER_STORE_PC)  # merge
+        assert mdp.ssid_of(LOAD_PC) == mdp.ssid_of(OTHER_STORE_PC)
+        assert mdp.ssid_of(LOAD_PC) == min(0, 1)
+
+    def test_one_sided_assignment_adopts_existing_ssid(self):
+        mdp = StoreSetPredictor()
+        mdp.train_violation(LOAD_PC, STORE_PC)
+        ssid = mdp.ssid_of(LOAD_PC)
+        mdp.train_violation(LOAD_PC, OTHER_STORE_PC)
+        assert mdp.ssid_of(OTHER_STORE_PC) == ssid
+
+
+class TestDependences:
+    def _trained(self):
+        mdp = StoreSetPredictor()
+        mdp.train_violation(LOAD_PC, STORE_PC)
+        return mdp
+
+    def test_load_depends_on_inflight_store(self):
+        mdp = self._trained()
+        assert mdp.store_dispatched(STORE_PC, seq=5) is None
+        assert mdp.load_dispatched(LOAD_PC) == 5
+
+    def test_store_store_serialisation(self):
+        mdp = self._trained()
+        mdp.train_violation(LOAD_PC, OTHER_STORE_PC)
+        mdp.store_dispatched(STORE_PC, seq=5)
+        dep = mdp.store_dispatched(OTHER_STORE_PC, seq=9)
+        assert dep == 5  # second store of the set follows the first
+
+    def test_issue_releases_lfst(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.store_issued(STORE_PC, seq=5)
+        assert mdp.load_dispatched(LOAD_PC) is None
+
+    def test_release_ignores_stale_seq(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.store_dispatched(STORE_PC, seq=9)  # newer instance
+        mdp.store_issued(STORE_PC, seq=5)  # stale release must not clear
+        assert mdp.load_dispatched(LOAD_PC) == 9
+
+    def test_flush_clears_last_updater(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.flush_store(STORE_PC, seq=5)
+        assert mdp.load_dispatched(LOAD_PC) is None
+
+
+class TestSteeringExtension:
+    def _trained(self):
+        mdp = StoreSetPredictor()
+        mdp.train_violation(LOAD_PC, STORE_PC)
+        return mdp
+
+    def test_hint_after_store_steered(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.record_store_steering(STORE_PC, seq=5, iq_index=3, partition=1)
+        hint = mdp.steering_hint(LOAD_PC)
+        assert hint is not None
+        assert hint.iq_index == 3
+        assert hint.partition == 1
+        assert hint.store_seq == 5
+
+    def test_no_hint_without_steering_record(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        assert mdp.steering_hint(LOAD_PC) is None
+
+    def test_reserved_hint_blocks_second_consumer(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.record_store_steering(STORE_PC, seq=5, iq_index=3)
+        hint = mdp.steering_hint(LOAD_PC)
+        hint.reserved = True  # first consumer steered behind the store
+        assert mdp.steering_hint(LOAD_PC) is None
+
+    def test_hint_cleared_when_store_issues(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.record_store_steering(STORE_PC, seq=5, iq_index=3)
+        mdp.store_issued(STORE_PC, seq=5)
+        assert mdp.steering_hint(LOAD_PC) is None
+
+    def test_stale_steering_record_ignored(self):
+        mdp = self._trained()
+        mdp.store_dispatched(STORE_PC, seq=5)
+        mdp.store_dispatched(STORE_PC, seq=9)
+        mdp.record_store_steering(STORE_PC, seq=5, iq_index=3)  # stale
+        assert mdp.steering_hint(LOAD_PC) is None
+
+
+class TestConstruction:
+    def test_rejects_bad_ssit_size(self):
+        with pytest.raises(ValueError):
+            StoreSetPredictor(ssit_entries=1000)
+
+    def test_ssid_wraps_around(self):
+        mdp = StoreSetPredictor(num_ssids=2)
+        mdp.train_violation(1, 2)
+        mdp.train_violation(3, 4)
+        mdp.train_violation(5, 6)  # wraps back to ssid 0
+        assert mdp.ssid_of(5) in (0, 1)

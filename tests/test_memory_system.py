@@ -1,0 +1,194 @@
+"""Tests for MSHRs, the prefetcher, DRAM, and the hierarchy glue."""
+
+import pytest
+
+from repro.memory import (
+    DRAM,
+    DRAMTimings,
+    HierarchyConfig,
+    MemoryHierarchy,
+    MSHRFile,
+    StridePrefetcher,
+)
+
+
+class TestMSHR:
+    def test_allocate_and_lookup(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(line=1, completion=100)
+        assert mshr.lookup(1, cycle=50) == 100
+        assert mshr.merges == 1
+        assert mshr.lookup(2, cycle=50) is None
+
+    def test_entries_reaped_after_completion(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 10)
+        assert mshr.outstanding(5) == 1
+        assert mshr.outstanding(11) == 0
+        assert mshr.lookup(1, 11) is None
+
+    def test_capacity_limits_parallelism(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 100)
+        mshr.allocate(2, 120)
+        assert mshr.earliest_free(0) == 100  # must wait for the first miss
+        assert mshr.full_stalls == 1
+
+    def test_free_when_below_capacity(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, 100)
+        assert mshr.earliest_free(0) == 0
+        assert mshr.full_stalls == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestPrefetcher:
+    def test_detects_constant_stride(self):
+        pf = StridePrefetcher(degree=2, threshold=2)
+        addrs = [1000 + i * 64 for i in range(6)]
+        issued = []
+        for addr in addrs:
+            issued.extend(pf.train(pc=4, addr=addr))
+        assert issued  # becomes confident and prefetches ahead
+        assert all(a > addrs[-1] - 64 for a in issued[-2:])
+
+    def test_small_strides_scaled_to_lines(self):
+        pf = StridePrefetcher(degree=1, threshold=2)
+        out = []
+        for i in range(8):
+            out = pf.train(pc=4, addr=2000 + i * 8)
+        # the prefetch must land at least one line beyond the current access
+        assert out and out[0] - (2000 + 7 * 8) >= 56
+
+    def test_random_pattern_stays_quiet(self):
+        pf = StridePrefetcher(threshold=2)
+        import random
+
+        rng = random.Random(1)
+        issued = []
+        for _ in range(50):
+            issued.extend(pf.train(pc=4, addr=rng.randrange(1 << 20)))
+        assert len(issued) <= 2
+
+    def test_per_pc_tracking(self):
+        pf = StridePrefetcher(threshold=2)
+        for i in range(6):
+            pf.train(pc=4, addr=1000 + i * 64)
+            out = pf.train(pc=8, addr=9000 + i * 128)
+        assert out and (out[0] - (9000 + 5 * 128)) % 128 == 0
+
+    def test_rejects_bad_table_size(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=100)
+
+
+class TestDRAM:
+    def test_row_hit_is_faster_than_row_miss(self):
+        dram = DRAM()
+        first = dram.access(0, cycle=0)  # row miss (activate)
+        second = dram.access(64 * dram.num_banks, cycle=first)  # same bank+row
+        t_hit = second - first
+        other_row = dram.access(
+            dram.row_bytes * dram.num_banks * 7, cycle=second
+        )
+        assert dram.row_hits >= 1
+        assert dram.row_misses >= 2
+
+    def test_bank_parallelism(self):
+        dram = DRAM()
+        a = dram.access(0, cycle=0)
+        b = dram.access(64, cycle=0)  # different bank
+        # overlapping accesses to different banks serialise only on the bus
+        assert b - a <= dram.timings.t_burst + 1
+
+    def test_same_bank_serialises(self):
+        dram = DRAM()
+        bank0, row0 = dram._map(0)
+        # find an address in a different row that folds onto the same bank
+        conflict = next(
+            addr
+            for addr in range(0, 1 << 24, 64)
+            if dram._map(addr) == (bank0, row0 + 9)
+        )
+        a = dram.access(0, cycle=0)
+        b = dram.access(conflict, cycle=0)
+        # same bank different row: precharge+activate after first completes
+        assert b > a + dram.timings.t_rp
+
+    def test_access_counts(self):
+        dram = DRAM()
+        for i in range(10):
+            dram.access(i * 64, cycle=0)
+        assert dram.accesses == 10
+        assert 0.0 <= dram.row_hit_rate <= 1.0
+
+
+class TestHierarchy:
+    def test_l1_hit_latency(self):
+        hier = MemoryHierarchy(HierarchyConfig(prefetch=False))
+        first = hier.access_data(0x1000, cycle=0)
+        assert first.level == "dram"
+        warm_cycle = first.complete_cycle + 10
+        second = hier.access_data(0x1008, cycle=warm_cycle)  # same line
+        assert second.level == "l1d"
+        assert second.complete_cycle == warm_cycle + hier.l1d.latency
+
+    def test_miss_goes_through_all_levels(self):
+        hier = MemoryHierarchy(HierarchyConfig(prefetch=False))
+        result = hier.access_data(0x9000, cycle=0)
+        # cold miss must cost at least the sum of the lookup latencies
+        floor = (
+            hier.l1d.latency + hier.l2.latency + hier.l3.latency
+            + hier.dram.timings.t_cas
+        )
+        assert result.complete_cycle >= floor
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = HierarchyConfig(prefetch=False, l1_size=4096, l1_assoc=1)
+        hier = MemoryHierarchy(config)
+        hier.access_data(0x0, cycle=0)
+        # evict line 0 from the direct-mapped L1 by touching its conflict
+        hier.access_data(4096, cycle=1000)
+        result = hier.access_data(0x0, cycle=2000)
+        assert result.level == "l2"
+
+    def test_ifetch_uses_l1i(self):
+        hier = MemoryHierarchy()
+        hier.access_ifetch(pc=0, cycle=0)
+        assert hier.l1i.stats.accesses == 1
+        assert hier.l1d.stats.accesses == 0
+
+    def test_in_flight_merge(self):
+        hier = MemoryHierarchy(HierarchyConfig(prefetch=False))
+        a = hier.access_data(0x5000, cycle=0)
+        b = hier.access_data(0x5008, cycle=1)  # same line, still in flight
+        assert b.complete_cycle <= a.complete_cycle + hier.l1d.latency + 1
+
+    def test_prefetcher_hides_stream_latency(self):
+        cold = MemoryHierarchy(HierarchyConfig(prefetch=False))
+        warm = MemoryHierarchy(HierarchyConfig(prefetch=True))
+        def stream(hier):
+            cycle, total = 0, 0
+            for i in range(200):
+                r = hier.access_data(0x10000 + i * 8, cycle=cycle, pc=4)
+                total += r.complete_cycle - cycle
+                cycle += 3
+            return total
+        assert stream(warm) < stream(cold)
+
+    def test_events_counted(self):
+        hier = MemoryHierarchy(HierarchyConfig(prefetch=False))
+        hier.access_data(0x100, 0)
+        assert hier.events["l1d"] == 1
+        assert hier.events["l2"] == 1
+        assert hier.events["l3"] == 1
+        assert hier.events["dram"] == 1
+
+    def test_stats_shape(self):
+        hier = MemoryHierarchy()
+        hier.access_data(0x40, 0)
+        stats = hier.stats()
+        assert set(stats) == {"l1i", "l1d", "l2", "l3", "dram"}

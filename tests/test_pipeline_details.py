@@ -1,0 +1,203 @@
+"""Focused tests for pipeline corner cases and structural limits."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.core.pipeline import Pipeline
+from repro.isa import OpClass, R
+from repro.workloads import ProgramBuilder, build_trace, execute
+
+
+def trace_of(build_fn, name="t", memory=None):
+    b = ProgramBuilder(name)
+    build_fn(b)
+    b.halt()
+    return execute(b.build(), memory=memory)
+
+
+class TestStructuralStalls:
+    def test_tiny_rob_still_correct_but_slower(self):
+        trace = build_trace("matmul_tile", target_ops=2000)
+        big = simulate(trace, config_for("ooo"))
+        small_cfg = dataclasses.replace(
+            config_for("ooo"), rob_size=16, name="ooo-smallrob"
+        )
+        small = simulate(trace, small_cfg)
+        assert small.stats.committed == len(trace)
+        assert small.cycles >= big.cycles
+
+    def test_tiny_lq_sq_still_correct(self):
+        trace = build_trace("histogram", target_ops=2000)
+        cfg = dataclasses.replace(
+            config_for("ooo"), lq_size=4, sq_size=2, name="ooo-tinylsq"
+        )
+        result = simulate(trace, cfg)
+        assert result.stats.committed == len(trace)
+
+    def test_physical_register_pressure(self):
+        # barely more pregs than architectural state: rename stalls a lot
+        trace = build_trace("matmul_tile", target_ops=2000)
+        cfg = dataclasses.replace(
+            config_for("ooo"), phys_int=40, phys_fp=40, name="ooo-fewpregs"
+        )
+        result = simulate(trace, cfg)
+        assert result.stats.committed == len(trace)
+        roomy = simulate(trace, config_for("ooo"))
+        assert result.cycles > roomy.cycles
+
+    def test_alloc_queue_bounds_frontend(self):
+        trace = build_trace("pointer_chase", target_ops=1000)
+        cfg = dataclasses.replace(
+            config_for("ooo"), alloc_queue=4, name="ooo-tinyalloc"
+        )
+        pipeline = Pipeline(trace, cfg)
+        result = pipeline.run()
+        assert result.stats.committed == len(trace)
+
+    def test_unpipelined_divides_throttle_throughput(self):
+        def divs(b):
+            b.li(R[10], 60)
+            b.li(R[1], 1000)
+            b.li(R[2], 7)
+            b.label("top")
+            b.div(R[3], R[1], R[2])  # 20-cycle unpipelined
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        def adds(b):
+            b.li(R[10], 60)
+            b.li(R[1], 1000)
+            b.li(R[2], 7)
+            b.label("top")
+            b.add(R[3], R[1], R[2])
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        slow = simulate(trace_of(divs), config_for("ooo"))
+        fast = simulate(trace_of(adds), config_for("ooo"))
+        # independent divides still serialise on the single divider
+        assert slow.cycles > fast.cycles + 60 * 10
+
+
+class TestFrontEndDetails:
+    def test_icache_cold_miss_stalls_fetch(self):
+        def body(b):
+            for i in range(64):  # 64 static ops ~ 4+ I-cache lines
+                b.addi(R[1 + i % 8], R[0], i)
+
+        result = simulate(trace_of(body), config_for("ooo"))
+        # the first line's DRAM fetch dominates this tiny program
+        assert result.cycles > 150
+
+    def test_btb_miss_penalty_smaller_than_mispredict(self):
+        # an always-taken loop branch: direction predicts fine quickly,
+        # but the first encounter pays a BTB-fill bubble, not a flush
+        def body(b):
+            b.li(R[10], 50)
+            b.label("top")
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        result = simulate(trace_of(body), config_for("ooo"))
+        assert result.stats.branch_mispredicts <= 3
+
+    def test_jump_heavy_code_is_cheap_after_btb_warm(self):
+        def body(b):
+            b.li(R[10], 80)
+            b.label("top")
+            b.jmp("next")
+            b.label("next")
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        result = simulate(trace_of(body), config_for("ooo"))
+        assert result.ipc > 0.4
+
+
+class TestClassification:
+    def test_ld_ldc_rst_taxonomy(self):
+        # load -> consumer -> independent op: classes Ld, LdC, Rst
+        def body(b):
+            b.li(R[1], 0x2000000)
+            b.li(R[10], 30)
+            b.label("top")
+            b.load(R[2], R[1], 0)     # Ld (cold line each iteration)
+            b.addi(R[3], R[2], 1)     # LdC: direct consumer
+            b.add(R[4], R[3], R[3])   # LdC: transitive consumer
+            b.addi(R[5], R[5], 1)     # Rst: independent
+            b.addi(R[1], R[1], 64)
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        trace = trace_of(body)
+        result = simulate(trace, config_for("ooo"))
+        counts = result.stats.breakdown.counts
+        assert counts["Ld"] == trace.num_loads
+        assert counts["LdC"] > 0
+        assert counts["Rst"] > 0
+        # the two consumers per iteration should mostly classify LdC
+        assert counts["LdC"] >= trace.num_loads
+
+    def test_completed_load_clears_taint(self):
+        # consumer renamed long after the load completes must be Rst
+        def body(b):
+            b.li(R[1], 0x2000000)
+            b.load(R[2], R[1], 0)
+            for _ in range(200):  # plenty of time for the load to finish
+                b.addi(R[5], R[5], 1)
+            b.addi(R[3], R[2], 1)  # consumer of a long-completed load
+
+        trace = trace_of(body)
+        result = simulate(trace, config_for("ooo"))
+        # exactly one load; its consumer should NOT be tainted by then
+        counts = result.stats.breakdown.counts
+        assert counts["LdC"] == 0
+
+
+class TestNarrowWidths:
+    @pytest.mark.parametrize("arch", ["inorder", "ooo", "ces", "casino",
+                                      "fxa", "ballerino", "dnb"])
+    def test_2wide_configs_run(self, arch):
+        trace = build_trace("histogram", target_ops=1200)
+        result = simulate(trace, config_for(arch, width=2))
+        assert result.stats.committed == len(trace)
+
+    @pytest.mark.parametrize("arch", ["casino", "ballerino"])
+    def test_4wide_configs_run(self, arch):
+        trace = build_trace("mixed_int_fp", target_ops=1200)
+        result = simulate(trace, config_for(arch, width=4))
+        assert result.stats.committed == len(trace)
+
+    def test_10wide_config_runs(self):
+        trace = build_trace("dag_wide", target_ops=1200)
+        result = simulate(trace, config_for("ballerino", width=10))
+        assert result.stats.committed == len(trace)
+
+
+class TestPortPressure:
+    def test_agu_ports_bound_memory_issue(self):
+        result_cycles = {}
+        for width in (2, 8):
+            trace = build_trace("spill_fill", target_ops=2000)
+            result = simulate(trace, config_for("ooo", width=width))
+            result_cycles[width] = result.cycles
+        # 2-wide has one AGU port vs four: memory-heavy code suffers
+        assert result_cycles[2] > result_cycles[8]
+
+    def test_issue_never_exceeds_width(self):
+        trace = build_trace("matmul_tile", target_ops=1500)
+        cfg = config_for("ooo")
+        pipeline = Pipeline(trace, cfg)
+        per_cycle = []
+        original = pipeline.scheduler.select
+
+        def spy(cycle):
+            out = original(cycle)
+            per_cycle.append(len(out))
+            return out
+
+        pipeline.scheduler.select = spy
+        pipeline.run()
+        assert max(per_cycle) <= cfg.issue_width

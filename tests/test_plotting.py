@@ -1,0 +1,54 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import bar_chart, stacked_bars
+
+
+class TestBarChart:
+    def test_basic_render(self):
+        text = bar_chart({"a": 1.0, "bb": 2.0}, title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert lines[2].startswith("bb")
+        # the bigger value gets the full-width bar
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_printed(self):
+        text = bar_chart({"x": 1.234}, fmt="{:.1f}")
+        assert "1.2" in text
+
+    def test_reference_marker(self):
+        text = bar_chart({"a": 0.5, "b": 1.0}, reference=1.0, width=10)
+        assert "|" in text.splitlines()[0]
+
+    def test_empty_values(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_zero_peak_safe(self):
+        text = bar_chart({"a": 0.0})
+        assert "a" in text
+
+
+class TestStackedBars:
+    def test_render_with_legend(self):
+        text = stacked_bars(
+            ["x", "y"],
+            {"alpha": [1, 2], "beta": [2, 1]},
+            title="S",
+            width=12,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "S"
+        assert "A=alpha" in lines[-1]
+        assert "B=beta" in lines[-1]
+        # both bars have the same total -> roughly equal length
+        assert abs(len(lines[1]) - len(lines[2])) <= 1
+
+    def test_duplicate_initials_disambiguated(self):
+        text = stacked_bars(["x"], {"steer": [1], "schedule": [1]})
+        legend = text.splitlines()[-1]
+        assert "S=steer" in legend
+        assert "C=schedule" in legend

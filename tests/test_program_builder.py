@@ -1,0 +1,88 @@
+"""Unit tests for the program-construction DSL."""
+
+import pytest
+
+from repro.isa import R, F
+from repro.workloads import Program, ProgramBuilder
+
+
+def simple_loop(n=3) -> Program:
+    b = ProgramBuilder("loop")
+    b.li(R[1], n)
+    b.label("top")
+    b.addi(R[1], R[1], -1)
+    b.bne(R[1], R[0], "top")
+    b.halt()
+    return b.build()
+
+
+class TestProgramBuilder:
+    def test_pcs_are_sequential(self):
+        program = simple_loop()
+        for i, inst in enumerate(program.instructions):
+            assert inst.pc == i
+
+    def test_label_resolution(self):
+        program = simple_loop()
+        assert program.target_pc("top") == 1
+        branch = program.instructions[2]
+        assert branch.target == "top"
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        b.halt()
+        with pytest.raises(ValueError, match="undefined"):
+            b.build()
+
+    def test_store_operand_order(self):
+        # store srcs = (value, base): the base must be the LAST source,
+        # which is what the executor's address calculation assumes
+        b = ProgramBuilder()
+        b.store(R[3], R[4], 8)
+        b.halt()
+        inst = b.build().instructions[0]
+        assert inst.srcs == (R[3], R[4])
+        assert inst.imm == 8
+
+    def test_load_operands(self):
+        b = ProgramBuilder()
+        b.load(R[1], R[2], 16)
+        b.halt()
+        inst = b.build().instructions[0]
+        assert inst.dest == R[1]
+        assert inst.srcs == (R[2],)
+        assert inst.imm == 16
+
+    def test_fp_ops_use_fp_registers(self):
+        b = ProgramBuilder()
+        b.fadd(F[1], F[2], F[3])
+        b.halt()
+        inst = b.build().instructions[0]
+        assert inst.dest == F[1]
+        assert inst.srcs == (F[2], F[3])
+
+    def test_disassemble_lists_labels(self):
+        text = simple_loop().disassemble()
+        assert "top:" in text
+        assert "bne" in text
+
+    def test_program_len(self):
+        assert len(simple_loop()) == 4
+
+    def test_three_operand_forms(self):
+        b = ProgramBuilder()
+        b.add(R[1], R[2], R[3])
+        b.sub(R[4], R[5], R[6])
+        b.mul(R[7], R[8], R[9])
+        b.halt()
+        program = b.build()
+        assert [i.opcode.name for i in program.instructions[:3]] == [
+            "add", "sub", "mul",
+        ]

@@ -1,0 +1,199 @@
+"""Fine-grained behavioural tests of OoO, CASINO and FXA internals."""
+
+from collections import Counter
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.core.ifop import InFlightOp
+from repro.core.pipeline import Pipeline
+from repro.isa import R, opcode
+from repro.isa.instruction import DynOp
+from repro.sched.casino import CasinoScheduler
+from repro.sched.ooo import OutOfOrderScheduler
+from repro.workloads import ProgramBuilder, build_trace, execute
+
+
+class FakeCore:
+    """Minimal pipeline surface for isolated scheduler tests."""
+
+    def __init__(self, issue_width=8):
+        self.energy = Counter()
+        self.cycle = 0
+        self.mdp = None
+        self._ready = set()
+        self.config = SimpleNamespace(issue_width=issue_width, decode_width=4)
+        self.granted = []
+
+    def set_ready(self, *seqs_or_pregs):
+        self._ready.update(seqs_or_pregs)
+
+    def srcs_ready(self, ifop, cycle):
+        return all(p in self._ready for p in ifop.src_pregs)
+
+    def mdp_dep_satisfied(self, ifop):
+        return True
+
+    def op_ready(self, ifop, cycle):
+        return self.srcs_ready(ifop, cycle)
+
+    def try_grant(self, ifop, cycle):
+        self.granted.append(ifop.seq)
+        return True
+
+
+def make_op(seq, src_pregs=(), dest_preg=None):
+    dyn = DynOp(seq=seq, pc=seq, opcode=opcode("add"),
+                dest=R[1] if dest_preg is not None else None,
+                srcs=tuple(R[1] for _ in src_pregs))
+    ifop = InFlightOp(seq=seq, op=dyn, decode_cycle=0)
+    ifop.src_pregs = tuple(src_pregs)
+    ifop.dest_preg = dest_preg
+    return ifop
+
+
+class TestOoOInternals:
+    def test_slots_are_reused(self):
+        core = FakeCore()
+        sched = OutOfOrderScheduler(core, iq_size=4)
+        ops = [make_op(i) for i in range(4)]
+        for op in ops:
+            sched.insert(op, 0)
+        assert not sched.can_accept(make_op(9))
+        issued = sched.select(1)  # all ready (no sources)
+        assert len(issued) == 4
+        assert sched.can_accept(make_op(9))
+        sched.insert(make_op(9), 2)
+        assert sched.occupancy() == 1
+
+    def test_position_priority_without_oldest_first(self):
+        """The prefix-sum grants the lowest slot, not the oldest op."""
+        core = FakeCore(issue_width=1)
+        sched = OutOfOrderScheduler(core, iq_size=4, oldest_first=False)
+        a, b, c = make_op(10), make_op(11), make_op(12)
+        for op in (a, b, c):
+            sched.insert(op, 0)
+        sched.select(1)  # drains all three via width... cap width:
+        # re-fill: slot 0 freed first is reused by the youngest
+        core2 = FakeCore(issue_width=1)
+        sched2 = OutOfOrderScheduler(core2, iq_size=2, oldest_first=False)
+        first, second = make_op(20), make_op(21)
+        sched2.insert(first, 0)
+        sched2.insert(second, 0)
+        assert sched2.select(1) == [first]  # slot 0
+        sched2.insert(make_op(22), 1)  # takes freed slot 0
+        issued = sched2.select(2)
+        assert issued[0].seq == 22  # younger op wins on position
+
+    def test_oldest_first_overrides_position(self):
+        core = FakeCore(issue_width=1)
+        sched = OutOfOrderScheduler(core, iq_size=2, oldest_first=True)
+        first, second = make_op(20), make_op(21)
+        sched.insert(first, 0)
+        sched.insert(second, 0)
+        assert sched.select(1) == [first]
+        sched.insert(make_op(22), 1)  # slot 0, but younger
+        issued = sched.select(2)
+        assert issued[0].seq == 21  # age wins
+
+    def test_flush_frees_slots(self):
+        core = FakeCore()
+        sched = OutOfOrderScheduler(core, iq_size=4)
+        for i in range(4):
+            sched.insert(make_op(i), 0)
+        sched.flush_from(2)
+        assert sched.occupancy() == 2
+        assert sched.can_accept(make_op(5))
+
+
+class TestCasinoInternals:
+    def _sched(self, core=None, sizes=(4, 4, 4), window=2):
+        core = core or FakeCore()
+        return core, CasinoScheduler(core, queue_sizes=sizes, window=window)
+
+    def test_nothing_ready_advances_window(self):
+        core, sched = self._sched()
+        blocked = [make_op(i, src_pregs=(99,)) for i in range(2)]
+        for op in blocked:
+            sched.insert(op, 0)
+        sched.select(1)
+        # both (window=2) passed to the next queue
+        assert len(sched.queues[0]) == 0
+        assert [op.seq for op in sched.queues[1]] == [0, 1]
+
+    def test_trailing_nonready_stays_behind_issued(self):
+        core, sched = self._sched()
+        ready = make_op(0)
+        waiting = make_op(1, src_pregs=(99,))
+        sched.insert(ready, 0)
+        sched.insert(waiting, 0)
+        issued = sched.select(1)
+        assert issued == [ready]
+        # the consumer-like trailing op stays in queue 0, not passed
+        assert [op.seq for op in sched.queues[0]] == [1]
+        assert len(sched.queues[1]) == 0
+
+    def test_leading_nonready_is_passed_when_something_issues(self):
+        core, sched = self._sched()
+        core.set_ready()  # nothing
+        waiting = make_op(0, src_pregs=(99,))
+        ready = make_op(1)
+        sched.insert(waiting, 0)
+        sched.insert(ready, 0)
+        issued = sched.select(1)
+        assert issued == [ready]
+        assert [op.seq for op in sched.queues[1]] == [0]
+
+    def test_pass_respects_next_queue_capacity(self):
+        core, sched = self._sched(sizes=(4, 1, 4), window=2)
+        for i in range(3):
+            sched.insert(make_op(i, src_pregs=(99,)), 0)
+        sched.select(1)  # passes only one (queue 1 capacity)
+        assert len(sched.queues[1]) == 1
+        assert len(sched.queues[0]) == 2
+
+    def test_last_queue_strictly_in_order(self):
+        core, sched = self._sched(sizes=(2, 2), window=2)
+        blocked = make_op(0, src_pregs=(99,))
+        ready = make_op(1)
+        # put both into the FINAL queue directly
+        sched.queues[1].extend([blocked, ready])
+        issued = sched.select(1)
+        assert issued == []  # head not ready: everything stalls
+
+    def test_rejects_single_queue_config(self):
+        with pytest.raises(ValueError):
+            CasinoScheduler(FakeCore(), queue_sizes=(8,))
+
+
+class TestFXAInternals:
+    def test_ixu_flow_to_backend_after_depth(self):
+        trace_ops = 0
+
+        def body(b):
+            b.li(R[1], 0x2000000)
+            b.load(R[2], R[1], 0)       # not IXU-eligible
+            b.addi(R[3], R[2], 1)       # eligible but blocked on the load
+            b.addi(R[4], R[4], 1)       # executes in the IXU
+
+        b = ProgramBuilder("t")
+        body(b)
+        b.halt()
+        trace = execute(b.build())
+        pipeline = Pipeline(trace, config_for("fxa"))
+        result = pipeline.run()
+        sched = result.stats.scheduler
+        assert result.stats.committed == len(trace)
+        assert sched["ixu_executed"] >= 1          # the independent addi
+        assert sched["backend_issued"] >= 2        # load + its consumer
+
+    def test_backend_is_half_sized(self):
+        assert config_for("fxa").scheduler.iq_size == 48
+        assert config_for("ooo").scheduler.iq_size == 96
+
+    def test_fxa_tracks_ooo_on_suite_kernel(self):
+        trace = build_trace("matmul_tile", target_ops=4000)
+        fxa = simulate(trace, config_for("fxa"))
+        ooo = simulate(trace, config_for("ooo"))
+        assert fxa.cycles <= ooo.cycles * 1.3

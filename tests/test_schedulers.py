@@ -1,0 +1,222 @@
+"""Behavioural tests for each scheduling-window implementation.
+
+These run small crafted traces through the full pipeline and assert
+scheduler-observable behaviour (issue order, steering outcomes, IQ mixes),
+not just end IPC.
+"""
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.core.pipeline import Pipeline
+from repro.isa import F, R
+from repro.sched.steering import SteerInfo, SteeringScoreboard
+from repro.workloads import ProgramBuilder, build_trace, execute
+
+
+def trace_of(build_fn, name="t", memory=None):
+    b = ProgramBuilder(name)
+    build_fn(b)
+    b.halt()
+    return execute(b.build(), memory=memory)
+
+
+def loop_with_miss_and_independents():
+    """A cold load chain plus independent ALU work, repeated."""
+
+    def body(b):
+        b.li(R[1], 0x2000000)
+        b.li(R[10], 40)
+        b.label("top")
+        b.load(R[2], R[1], 0)    # cold miss every iteration (new line)
+        b.addi(R[3], R[2], 1)    # dependent on the miss
+        b.addi(R[4], R[4], 1)    # independent work
+        b.addi(R[5], R[5], 2)
+        b.xor(R[6], R[4], R[5])
+        b.addi(R[1], R[1], 64)
+        b.addi(R[10], R[10], -1)
+        b.bne(R[10], R[0], "top")
+
+    return trace_of(body, "miss_plus_ilp")
+
+
+class TestInOrderVsOutOfOrder:
+    def test_ooo_bypasses_stalled_head(self):
+        trace = loop_with_miss_and_independents()
+        ino = simulate(trace, config_for("inorder"))
+        ooo = simulate(trace, config_for("ooo"))
+        assert ooo.cycles < ino.cycles
+
+    def test_oldest_first_not_worse_on_suite_kernel(self):
+        trace = build_trace("dag_wide", target_ops=4000)
+        plain = simulate(trace, config_for("ooo"))
+        oldest = simulate(trace, config_for("ooo_oldest"))
+        assert oldest.cycles <= plain.cycles * 1.05
+
+
+class TestCES:
+    def test_steering_counters_populated(self):
+        trace = build_trace("dag_wide", target_ops=4000)
+        result = simulate(trace, config_for("ces"))
+        sched = result.stats.scheduler
+        assert sched["steer_dc"] > 0
+        assert sched["alloc_ready"] + sched["alloc_nonready"] > 0
+        # Fig. 4's claim: most stalls are caused by ready instructions
+        assert "stall_ready" in sched and "stall_nonready" in sched
+
+    def test_head_state_breakdown_sums_to_piq_cycles(self):
+        trace = build_trace("matmul_tile", target_ops=3000)
+        cfg = config_for("ces")
+        pipeline = Pipeline(trace, cfg)
+        result = pipeline.run()
+        sched = pipeline.scheduler
+        total = sum(sched.head_states.values())
+        assert total == result.cycles * cfg.scheduler.num_piqs
+
+    def test_mda_reduces_mdep_head_stalls(self):
+        trace = build_trace("histogram", target_ops=6000)
+        plain = simulate(trace, config_for("ces"))
+        mda = simulate(trace, config_for("ces_mda"))
+        assert mda.stats.scheduler["head_wait_mdep"] <= \
+            plain.stats.scheduler["head_wait_mdep"]
+
+    def test_chain_goes_to_single_piq(self):
+        # one serial chain: after the head allocates, everything steers
+        def body(b):
+            b.li(R[1], 0x2000000)
+            b.load(R[2], R[1], 0)  # non-ready root (cold miss)
+            for _ in range(6):
+                b.addi(R[2], R[2], 1)
+
+        result = simulate(trace_of(body), config_for("ces"))
+        assert result.stats.scheduler["steer_dc"] >= 5
+
+
+class TestCasino:
+    def test_passes_happen(self):
+        trace = build_trace("pointer_chase", target_ops=3000)
+        result = simulate(trace, config_for("casino"))
+        assert result.stats.scheduler["passes"] > 0
+
+    def test_issue_spread_over_queues(self):
+        trace = build_trace("mixed_int_fp", target_ops=4000)
+        result = simulate(trace, config_for("casino"))
+        sched = result.stats.scheduler
+        issued = [v for k, v in sched.items() if k.startswith("issued_q")]
+        assert sum(issued) == result.stats.issued
+        assert issued[0] > 0  # the first S-IQ captures ready work
+
+    def test_casino_beats_inorder_on_mlp_mix(self):
+        trace = build_trace("matmul_tile", target_ops=6000)
+        ino = simulate(trace, config_for("inorder"))
+        casino = simulate(trace, config_for("casino"))
+        assert casino.cycles < ino.cycles
+
+
+class TestFXA:
+    def test_ixu_filters_ready_alu_ops(self):
+        trace = build_trace("matmul_tile", target_ops=4000)
+        result = simulate(trace, config_for("fxa"))
+        sched = result.stats.scheduler
+        assert sched["ixu_executed"] > 0
+        assert sched["backend_issued"] > 0
+        # loads/FP must all go to the back end: IXU handles a minority here
+        assert sched["ixu_executed"] + sched["backend_issued"] == result.stats.issued
+
+    def test_ixu_share_high_on_alu_heavy_code(self):
+        def body(b):
+            b.li(R[10], 200)
+            b.label("top")
+            for lane in range(6):
+                b.addi(R[1 + lane], R[1 + lane], 1)
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        result = simulate(trace_of(body), config_for("fxa"))
+        sched = result.stats.scheduler
+        assert sched["ixu_executed"] > sched["backend_issued"]
+
+
+class TestBallerino:
+    def test_issue_mix_counters(self):
+        trace = build_trace("dag_wide", target_ops=4000)
+        result = simulate(trace, config_for("ballerino"))
+        sched = result.stats.scheduler
+        assert sched["issued_siq"] > 0
+        assert sched["issued_piq"] > 0
+        assert sched["issued_siq"] + sched["issued_piq"] == result.stats.issued
+
+    def test_siq_filters_ready_at_dispatch(self):
+        # truly ready-at-dispatch work (li has no sources): the S-IQ must
+        # speculatively issue the bulk of it without P-IQ involvement
+        def body(b):
+            b.li(R[10], 100)
+            b.label("top")
+            b.li(R[1], 1)
+            b.li(R[2], 2)
+            b.addi(R[10], R[10], -1)
+            b.bne(R[10], R[0], "top")
+
+        result = simulate(trace_of(body), config_for("ballerino"))
+        sched = result.stats.scheduler
+        assert sched["issued_siq"] > sched["issued_piq"]
+
+    def test_siq_share_near_paper_fraction(self):
+        """Paper §VI-C: the S-IQ speculatively issues ~41% of instructions."""
+        trace = build_trace("mixed_int_fp", target_ops=6000)
+        result = simulate(trace, config_for("ballerino"))
+        sched = result.stats.scheduler
+        share = sched["issued_siq"] / (sched["issued_siq"] + sched["issued_piq"])
+        assert 0.2 < share < 0.7
+
+    def test_sharing_activates_under_chain_pressure(self):
+        trace = build_trace("dag_wide", target_ops=6000)
+        result = simulate(trace, config_for("ballerino"))
+        assert result.stats.scheduler["share_activations"] > 0
+
+    def test_step_variants_monotone_on_chain_heavy_kernel(self):
+        trace = build_trace("dag_wide", target_ops=6000)
+        step1 = simulate(trace, config_for("ballerino_step1"))
+        step3 = simulate(trace, config_for("ballerino"))
+        ideal = simulate(trace, config_for("ballerino_ideal"))
+        assert step3.cycles <= step1.cycles
+        assert ideal.cycles <= step3.cycles * 1.03
+
+    def test_mda_steering_event_counted(self):
+        trace = build_trace("histogram", target_ops=6000)
+        result = simulate(trace, config_for("ballerino"))
+        assert result.stats.scheduler["steer_mda"] > 0
+        step1 = simulate(trace, config_for("ballerino_step1"))
+        assert step1.stats.scheduler["steer_mda"] == 0
+
+    def test_ballerino12_not_slower(self):
+        trace = build_trace("dag_wide", target_ops=6000)
+        eight = simulate(trace, config_for("ballerino"))
+        twelve = simulate(trace, config_for("ballerino12"))
+        assert twelve.cycles <= eight.cycles * 1.02
+
+
+class TestSteeringScoreboard:
+    def test_set_get_clear(self):
+        sb = SteeringScoreboard()
+        sb.set(5, SteerInfo(iq=2, owner_seq=7))
+        assert sb.get(5).iq == 2
+        sb.clear(5)
+        assert sb.get(5) is None
+        sb.clear(None)  # no-op
+
+    def test_reserve(self):
+        sb = SteeringScoreboard()
+        sb.set(5, SteerInfo(iq=2, owner_seq=7))
+        sb.reserve(5)
+        assert sb.get(5).reserved
+        sb.reserve(99)  # absent: no-op
+
+    def test_flush_by_owner(self):
+        sb = SteeringScoreboard()
+        sb.set(5, SteerInfo(iq=2, owner_seq=7))
+        sb.set(6, SteerInfo(iq=3, owner_seq=12))
+        sb.flush_from(10)
+        assert sb.get(5) is not None
+        assert sb.get(6) is None
+        assert len(sb) == 1

@@ -1,0 +1,92 @@
+"""Tests for the SPQ (load-delay-tracking priority queue) extension."""
+
+import pytest
+
+from repro.core import config_for, simulate
+from repro.core.pipeline import Pipeline
+from repro.sched.spq import DEFAULT_LOAD_DELAY, LoadDelayTracker
+from repro.workloads import build_trace
+
+
+class TestLoadDelayTracker:
+    def test_default_prediction(self):
+        tracker = LoadDelayTracker()
+        assert tracker.predict(0x40) == DEFAULT_LOAD_DELAY
+
+    def test_records_and_predicts(self):
+        tracker = LoadDelayTracker()
+        tracker.record(0x40, 250)
+        assert tracker.predict(0x40) == 250
+
+    def test_pc_aliasing_by_mask(self):
+        tracker = LoadDelayTracker(entries=16)
+        tracker.record(0, 99)
+        assert tracker.predict(16) == 99  # aliases entry 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            LoadDelayTracker(entries=10)
+
+
+class TestSPQScheduler:
+    def test_config_preset(self):
+        cfg = config_for("spq")
+        assert cfg.scheduler.kind == "spq"
+        assert cfg.scheduler.num_piqs == 8
+
+    @pytest.mark.parametrize("workload", ["histogram", "dag_wide",
+                                          "hash_probe", "matmul_tile"])
+    def test_commits_everything(self, workload):
+        trace = build_trace(workload, target_ops=1500)
+        result = simulate(trace, config_for("spq"))
+        assert result.stats.committed == len(trace)
+
+    def test_queue_contents_sorted_by_prediction(self):
+        trace = build_trace("mixed_int_fp", target_ops=1500)
+        pipeline = Pipeline(trace, config_for("spq"))
+        sched = pipeline.scheduler
+        original = sched.select
+
+        def checked(cycle):
+            for queue in sched.queues:
+                keys = [(t, s) for t, s, _ in queue]
+                assert keys == sorted(keys)
+            return original(cycle)
+
+        sched.select = checked
+        result = pipeline.run()
+        assert result.stats.committed == len(trace)
+
+    def test_tracker_learns_from_real_loads(self):
+        trace = build_trace("pointer_chase", target_ops=1500)
+        pipeline = Pipeline(trace, config_for("spq"))
+        pipeline.run()
+        # pointer-chase loads miss to DRAM: predictions must have grown
+        pcs = {op.pc for op in trace if op.is_load}
+        learned = max(pipeline.scheduler.tracker.predict(pc) for pc in pcs)
+        assert learned > DEFAULT_LOAD_DELAY
+
+    def test_performance_beats_inorder(self):
+        trace = build_trace("hash_probe", target_ops=3000)
+        ino = simulate(trace, config_for("inorder"))
+        spq = simulate(trace, config_for("spq"))
+        assert spq.cycles < ino.cycles
+
+    def test_survives_flush_storm(self):
+        import dataclasses
+
+        trace = build_trace("histogram", target_ops=2500)
+        cfg = dataclasses.replace(
+            config_for("spq"), mdp_enabled=False, name="spq-nomdp"
+        )
+        pipeline = Pipeline(trace, cfg, check_invariants=True)
+        result = pipeline.run()
+        assert result.stats.committed == len(trace)
+        assert result.stats.order_violations > 0
+
+    def test_stats_exposed(self):
+        trace = build_trace("dag_wide", target_ops=1500)
+        result = simulate(trace, config_for("spq"))
+        sched = result.stats.scheduler
+        assert sched["issued_total"] == result.stats.issued
+        assert "mispredicted_heads" in sched

@@ -1,0 +1,70 @@
+"""Tests for the parameter-sweep helper."""
+
+import pytest
+
+from repro.analysis import ExperimentRunner
+from repro.analysis.sweep import SweepPoint, SweepResult, sweep
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    runner = ExperimentRunner(
+        target_ops=1000, cache_dir=str(tmp_path_factory.mktemp("sweep"))
+    )
+    return sweep(
+        {"arch": ["inorder", "ooo"], "width": [2, 8]},
+        workloads=["hash_probe", "spill_fill"],
+        runner=runner,
+    )
+
+
+def test_full_cartesian_product(result):
+    assert len(result) == 2 * 2 * 2  # arch x width x workload
+
+
+def test_filter_by_params(result):
+    sub = result.filter(arch="ooo")
+    assert len(sub) == 4
+    assert all(p.params["arch"] == "ooo" for p in sub.points)
+    sub2 = result.filter(arch="ooo", width=8)
+    assert len(sub2) == 2
+
+
+def test_geomean_ipc_ordering(result):
+    assert result.geomean_ipc(arch="ooo", width=8) > result.geomean_ipc(
+        arch="inorder", width=2
+    )
+
+
+def test_best_by_metric(result):
+    best = result.best(lambda p: p.ipc)
+    assert isinstance(best, SweepPoint)
+    assert best.ipc == max(p.ipc for p in result.points)
+
+
+def test_table_shape(result):
+    rows = result.table()
+    assert len(rows) == len(result)
+    params, workload, value = rows[0]
+    assert "arch" in params and isinstance(value, float)
+
+
+def test_empty_best_raises():
+    with pytest.raises(ValueError):
+        SweepResult([]).best(lambda p: p.ipc)
+
+
+def test_sweep_with_custom_builder(tmp_path):
+    from repro.core.config import config_for
+
+    runner = ExperimentRunner(target_ops=800, cache_dir=str(tmp_path))
+    result = sweep(
+        {"num_piqs": [3, 7]},
+        config_builder=lambda num_piqs: config_for(
+            "ballerino", num_piqs=num_piqs
+        ),
+        workloads=["dag_wide"],
+        runner=runner,
+    )
+    assert len(result) == 2
+    assert result.geomean_ipc(num_piqs=7) >= result.geomean_ipc(num_piqs=3) * 0.95
