@@ -16,6 +16,7 @@ Quickstart::
 from .core.config import CoreConfig, SchedulerParams, config_for
 from .core.pipeline import Pipeline, SimulationDeadlock, simulate
 from .core.stats import SimResult
+from .telemetry import StallAttribution, Tracer
 from .workloads.kernels import KERNELS, build_trace
 from .workloads.program import Program, ProgramBuilder
 from .workloads.suite import SUITE_NAMES, default_suite, get_trace
@@ -31,6 +32,8 @@ __all__ = [
     "SimulationDeadlock",
     "simulate",
     "SimResult",
+    "StallAttribution",
+    "Tracer",
     "KERNELS",
     "build_trace",
     "Program",

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import CoreConfig, config_for
 from ..core.pipeline import simulate
-from ..core.stats import SimResult
+from ..core.stats import RESULT_SCHEMA_VERSION, SimResult
 from ..workloads.suite import SUITE_NAMES, get_trace
 
 DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
@@ -57,6 +57,9 @@ class ExperimentRunner:
     def _key(self, workload: str, config: CoreConfig, seed: int) -> str:
         blob = json.dumps(
             {
+                # key on the result schema so stale on-disk entries are
+                # skipped (not silently deserialized) after field changes
+                "schema": RESULT_SCHEMA_VERSION,
                 "workload": workload,
                 "ops": self.target_ops,
                 "seed": seed,

@@ -8,9 +8,13 @@ Commands:
 * ``compare WORKLOAD [ARCH ...]`` — side-by-side IPC/energy comparison.
 * ``suite ARCH`` — run the whole suite under one design.
 * ``report`` — print the paper-vs-measured EXPERIMENTS report.
+* ``trace WORKLOAD ARCH --trace-out F`` — cycle-level pipeline trace:
+  writes a Chrome trace-event JSON (or Konata log) and prints the
+  stall-attribution and occupancy breakdowns (see docs/observability.md).
 
 All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` and use
-the shared ``.bench_cache`` result cache.
+the shared ``.bench_cache`` result cache; traced runs bypass the cache
+(``simulate``/``compare`` also accept ``--trace-out``).
 """
 
 from __future__ import annotations
@@ -54,12 +58,33 @@ def _make_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="run one simulation")
     sim.add_argument("workload", choices=sorted(KERNELS))
     sim.add_argument("arch", choices=_ALL_ARCHES)
+    sim.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="also write a cycle-level pipeline trace here")
+    sim.add_argument("--trace-format", choices=("chrome", "konata"),
+                     default=None, help="trace format (default: by extension)")
 
     cmp_cmd = sub.add_parser("compare", help="compare designs on a workload")
     cmp_cmd.add_argument("workload", choices=sorted(KERNELS))
     cmp_cmd.add_argument("arches", nargs="*",
                          default=["inorder", "ces", "casino", "fxa",
                                   "ballerino", "ooo"])
+    cmp_cmd.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="write one pipeline trace per arch "
+                              "(arch name is inserted before the suffix)")
+    cmp_cmd.add_argument("--trace-format", choices=("chrome", "konata"),
+                         default=None,
+                         help="trace format (default: by extension)")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="cycle-level pipeline trace + stall attribution")
+    trace_cmd.add_argument("workload", choices=sorted(KERNELS))
+    trace_cmd.add_argument("arch", choices=_ALL_ARCHES)
+    trace_cmd.add_argument("--trace-out", default=None, metavar="FILE",
+                           help="trace output file (omit to only print "
+                                "the stall/occupancy breakdowns)")
+    trace_cmd.add_argument("--trace-format", choices=("chrome", "konata"),
+                           default=None,
+                           help="trace format (default: by extension)")
 
     suite = sub.add_parser("suite", help="run the whole suite on one design")
     suite.add_argument("arch", choices=_ALL_ARCHES)
@@ -99,10 +124,71 @@ def _cmd_configs(args) -> int:
     return 0
 
 
+def _traced_run(workload: str, arch: str, args):
+    """Run one simulation with telemetry on (bypasses the result cache)."""
+    from .core.pipeline import Pipeline
+    from .telemetry import StallAttribution, Tracer
+    from .workloads.suite import get_trace
+
+    cfg = config_for(arch, width=args.width)
+    trace = get_trace(workload, args.ops, args.seed)
+    tracer, attribution = Tracer(), StallAttribution()
+    result = Pipeline(trace, cfg, tracer=tracer, attribution=attribution).run()
+    return result, tracer, attribution
+
+
+def _write_trace_file(tracer, path: str, fmt: Optional[str], label: str,
+                      metadata=None) -> None:
+    from pathlib import Path
+
+    from .telemetry import write_chrome_trace, write_konata
+
+    Path(path).resolve().parent.mkdir(parents=True, exist_ok=True)
+    if fmt is None:
+        fmt = "konata" if path.endswith((".kanata", ".konata", ".log")) \
+            else "chrome"
+    if fmt == "konata":
+        write_konata(tracer, path)
+    else:
+        write_chrome_trace(tracer, path, label=label, metadata=metadata)
+    print(f"wrote {fmt} trace: {path}")
+
+
+def _print_stall_tables(result) -> None:
+    stats = result.stats
+    total = stats.cycles or 1
+    rows = [
+        [category, cycles, f"{100.0 * cycles / total:.1f}%"]
+        for category, cycles in stats.stall_cycles.items()
+    ]
+    rows.append(["TOTAL", sum(stats.stall_cycles.values()), "100.0%"])
+    print()
+    print(format_table(
+        ["category", "cycles", "share"], rows,
+        title="stall attribution (every cycle charged once)",
+    ))
+    print()
+    print(format_table(
+        ["structure", "mean occupancy"],
+        [[name, value] for name, value in stats.occupancy.items()],
+        title="average structure occupancy", float_fmt="{:.2f}",
+    ))
+
+
 def _cmd_simulate(args) -> int:
-    runner = _runner(args)
-    result = runner.run_arch(args.workload, args.arch, width=args.width)
     cfg = config_for(args.arch, width=args.width)
+    if args.trace_out:
+        result, tracer, _ = _traced_run(args.workload, args.arch, args)
+        # write the file before the tables so a closed stdout pipe
+        # (e.g. `... | head`) can't lose the trace
+        _write_trace_file(
+            tracer, args.trace_out, args.trace_format,
+            label=f"{args.workload}/{cfg.name}",
+            metadata={"workload": args.workload, "config": cfg.name},
+        )
+    else:
+        runner = _runner(args)
+        result = runner.run_arch(args.workload, args.arch, width=args.width)
     report = EnergyModel().evaluate(result, cfg)
     print(format_table(
         ["metric", "value"],
@@ -138,7 +224,16 @@ def _cmd_simulate(args) -> int:
          if fraction > 0.005},
         title="core energy by component (Fig. 15 categories)",
     ))
+    if args.trace_out:
+        _print_stall_tables(result)
     return 0
+
+
+def _trace_path_for_arch(path: str, arch: str) -> str:
+    stem, dot, suffix = path.rpartition(".")
+    if not dot:
+        return f"{path}.{arch}"
+    return f"{stem}.{arch}.{suffix}"
 
 
 def _cmd_compare(args) -> int:
@@ -149,7 +244,15 @@ def _cmd_compare(args) -> int:
         if arch not in _ALL_ARCHES:
             print(f"unknown arch: {arch}", file=sys.stderr)
             return 2
-        result = runner.run_arch(args.workload, arch, width=args.width)
+        if args.trace_out:
+            result, tracer, _ = _traced_run(args.workload, arch, args)
+            _write_trace_file(
+                tracer, _trace_path_for_arch(args.trace_out, arch),
+                args.trace_format, label=f"{args.workload}/{arch}",
+                metadata={"workload": args.workload, "config": arch},
+            )
+        else:
+            result = runner.run_arch(args.workload, arch, width=args.width)
         cfg = config_for(arch, width=args.width)
         report = model.evaluate(result, cfg)
         rows.append([
@@ -180,6 +283,36 @@ def _cmd_suite(args) -> int:
         ["workload", "IPC", "cycles", "speedup/InO"], rows,
         title=f"{args.arch} @ {args.width}-wide across the suite",
     ))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    result, tracer, _ = _traced_run(args.workload, args.arch, args)
+    cfg = config_for(args.arch, width=args.width)
+    # write the file before the tables so a closed stdout pipe
+    # (e.g. `repro trace ... | head`) can't lose the trace
+    if args.trace_out:
+        _write_trace_file(
+            tracer, args.trace_out, args.trace_format,
+            label=f"{args.workload}/{cfg.name}",
+            metadata={"workload": args.workload, "config": cfg.name},
+        )
+    counts = tracer.stage_counts()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["workload", args.workload],
+            ["config", cfg.name],
+            ["cycles", result.cycles],
+            ["committed", result.stats.committed],
+            ["IPC", round(result.ipc, 3)],
+            ["events traced", len(tracer)],
+            ["micro-ops traced", len(tracer.ops)],
+            ["squashes traced", counts.get("squash", 0)],
+        ],
+        title="traced simulation",
+    ))
+    _print_stall_tables(result)
     return 0
 
 
@@ -247,6 +380,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
     "suite": _cmd_suite,
+    "trace": _cmd_trace,
     "report": _cmd_report,
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,

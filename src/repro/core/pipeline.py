@@ -33,6 +33,8 @@ from ..lsq.queues import LoadStoreUnit
 from ..memory.cache import LINE_SIZE
 from ..memory.hierarchy import CODE_BASE, MemoryHierarchy
 from ..rename.rename_unit import RenameUnit
+from ..telemetry.attribution import StallAttribution
+from ..telemetry.tracer import Tracer
 from ..workloads.trace import Trace
 from .config import CoreConfig
 from .ifop import InFlightOp
@@ -68,6 +70,12 @@ class Pipeline:
         config: Core configuration (see :mod:`repro.core.config`).
         scheduler_factory: ``f(pipeline) -> scheduler``; defaults to building
             the scheduler named by ``config.scheduler.kind``.
+        tracer: Optional :class:`~repro.telemetry.tracer.Tracer` receiving
+            per-µop lifecycle events.  Every hook guards on this single
+            nullable reference, so the disabled cost is one branch.
+        attribution: Optional :class:`~repro.telemetry.attribution.
+            StallAttribution` fed once per cycle; its totals land on
+            ``SimResult.stats.stall_cycles`` / ``.occupancy``.
     """
 
     def __init__(
@@ -76,14 +84,19 @@ class Pipeline:
         config: CoreConfig,
         scheduler_factory: Optional[Callable[["Pipeline"], object]] = None,
         check_invariants: bool = False,
+        tracer: Optional[Tracer] = None,
+        attribution: Optional[StallAttribution] = None,
     ):
         self.trace = trace
         self.config = config
+        self.tracer = tracer
+        self.attribution = attribution
         self.hier = MemoryHierarchy(config.hierarchy)
         self.frontend = FrontEnd()
         self.rename = RenameUnit(config.phys_int, config.phys_fp)
         self.ready = ReadyFile(self.rename.num_phys)
         self.lsu = LoadStoreUnit(config.lq_size, config.sq_size)
+        self.lsu.tracer = tracer
         self.mdp: Optional[StoreSetPredictor] = (
             StoreSetPredictor() if config.mdp_enabled else None
         )
@@ -165,6 +178,8 @@ class Pipeline:
             self._dispatch()
             self._rename_stage()
             self._fetch()
+            if self.attribution is not None:
+                self.attribution.record_cycle(self, self.commit_count != before)
             if self.check_invariants:
                 self._assert_invariants()
             self.cycle += 1
@@ -177,6 +192,9 @@ class Pipeline:
             if self.cycle > max_cycles:
                 raise SimulationDeadlock("max_cycles exceeded")
         self.stats.cycles = self.cycle
+        if self.attribution is not None:
+            self.stats.stall_cycles = self.attribution.totals()
+            self.stats.occupancy = self.attribution.occupancy_averages()
         self.stats.scheduler = dict(self.scheduler.extra_stats())
         self.stats.branch_lookups = self.frontend.lookups
         for name, count in self.hier.events.items():
@@ -216,11 +234,14 @@ class Pipeline:
     # commit
     # ==================================================================
     def _commit(self) -> None:
+        tracer = self.tracer
         for _ in range(self.config.commit_width):
             if not self.rob.commit_ready():
                 return
             ifop = self.rob.pop_head()
             seq = ifop.seq
+            if tracer is not None:
+                tracer.emit(self.cycle, seq, "commit")
             if ifop.is_store:
                 entry = self.lsu.commit_store(seq)
                 # retire the store's write into the data cache
@@ -262,16 +283,23 @@ class Pipeline:
     def _complete(self, ifop: InFlightOp, when: int) -> None:
         ifop.completed = True
         ifop.complete_cycle = when
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(when, ifop.seq, "writeback")
         if ifop.dest_preg is not None:
             self.ready.mark_ready(ifop.dest_preg, when)
             self.energy["prf_write"] += 1
             self.scheduler.on_wakeup(ifop.dest_preg, when)
+            if tracer is not None:
+                tracer.emit(when, ifop.seq, "wakeup", f"p{ifop.dest_preg}")
         self.scheduler.on_complete(ifop, when)
         if ifop.mispredicted and ifop.is_branch:
             # the front end was stopped at this branch; redirect resolves now
             self.fetch_resume_at = max(
                 self.fetch_resume_at, when + self.config.recovery_penalty
             )
+            if self.attribution is not None:
+                self.attribution.note_recovery(self.fetch_resume_at)
             if self.pending_redirect == ifop.seq:
                 self.pending_redirect = None
             # wrong-path activity: the real front end fetches/decodes down
@@ -296,10 +324,14 @@ class Pipeline:
                 return
             complete_at = max(when, forward.ready_cycle) + 1
             source = forward.source_seq
+            served_by = f"fwd:{source}"
         else:
             result = self.hier.access_data(addr, when, pc=ifop.op.pc)
             complete_at = result.complete_cycle
             source = -1
+            served_by = result.level
+        if self.tracer is not None:
+            self.tracer.emit(when, seq, "execute", served_by)
         self.lsu.load_executed(seq, when, source)
         self._schedule(max(complete_at, when + 1), ifop, "exec")
 
@@ -309,6 +341,9 @@ class Pipeline:
         self.lsu.store_data_ready(seq, when)
         ifop.completed = True
         ifop.complete_cycle = when
+        if self.tracer is not None:
+            self.tracer.emit(when, seq, "execute", "agu")
+            self.tracer.emit(when, seq, "writeback")
         if violators:
             offender = violators[0]
             victim = self.inflight.get(offender)
@@ -339,6 +374,13 @@ class Pipeline:
         if dep is not None and dep in self._store_issued:
             ready_at = max(ready_at, self._store_issued[dep])
         ifop.ready_cycle = min(ready_at, cycle)
+        if self.tracer is not None:
+            self.tracer.emit(cycle, ifop.seq, "issue", f"port{ifop.port}")
+            if not (ifop.is_load or ifop.is_store):
+                self.tracer.emit(
+                    cycle + 1, ifop.seq, "execute",
+                    ifop.opcode.op_class.name.lower(),
+                )
 
         if ifop.is_load:
             self._schedule(cycle + 1, ifop, "load_agu")
@@ -357,18 +399,29 @@ class Pipeline:
         cycle = self.cycle
         dispatched = 0
         queue = self.dispatch_queue
+        attribution = self.attribution
         while queue and dispatched < self.config.decode_width:
             available_at, ifop = queue[0]
             if available_at > cycle or self.rob.full:
+                if self.rob.full and attribution is not None:
+                    attribution.note_dispatch_block("rob_full")
                 return
             if ifop.is_load and self.lsu.lq_full():
+                if attribution is not None:
+                    attribution.note_dispatch_block("lq_full")
                 return
             if ifop.is_store and self.lsu.sq_full():
+                if attribution is not None:
+                    attribution.note_dispatch_block("sq_full")
                 return
             if not self.scheduler.can_accept(ifop):
+                if attribution is not None:
+                    attribution.note_dispatch_block("iq_full")
                 return
             queue.popleft()
             ifop.dispatch_cycle = cycle
+            if self.tracer is not None:
+                self.tracer.emit(cycle, ifop.seq, "dispatch")
             self.rob.append(ifop)
             if ifop.is_load:
                 self.lsu.allocate_load(ifop.seq, ifop.op.pc)
@@ -441,6 +494,8 @@ class Pipeline:
                 self.ready.mark_pending(ifop.dest_preg)
             ifop.port = self.ports.assign(op.opcode.op_class)
             self._classify(ifop)
+            if self.tracer is not None:
+                self.tracer.emit(cycle, ifop.seq, "rename", ifop.klass)
             self.energy["rename"] += 1
             self.dispatch_queue.append((cycle + self.config.rename_latency, ifop))
             renamed += 1
@@ -470,6 +525,9 @@ class Pipeline:
                     return  # I-cache miss: stall before consuming the op
             ifop = InFlightOp(seq=op.seq, op=op, decode_cycle=cycle)
             self.inflight[op.seq] = ifop
+            if self.tracer is not None:
+                self.tracer.note_op(op.seq, op.pc, op.opcode.name)
+                self.tracer.emit(cycle, op.seq, "fetch")
             self.decode_queue.append(ifop)
             self.energy["fetch"] += 1
             self.fetch_index += 1
@@ -513,6 +571,10 @@ class Pipeline:
     def _squash(self, from_seq: int) -> None:
         """Squash every op with seq >= ``from_seq`` and refetch."""
         self.stats.flushes += 1
+        if self.tracer is not None:
+            for seq in self.inflight:
+                if seq >= from_seq:
+                    self.tracer.emit(self.cycle, seq, "squash", "mem_order")
         # 1) pre-dispatch queues: drop (dispatch_queue ops are renamed, so
         #    undo them youngest-first before touching the ROB's older ops)
         undispatched = [
@@ -561,11 +623,20 @@ class Pipeline:
         self.fetch_resume_at = max(
             self.fetch_resume_at, self.cycle + self.config.recovery_penalty
         )
+        if self.attribution is not None:
+            self.attribution.note_recovery(self.fetch_resume_at)
         if self.pending_redirect is not None and self.pending_redirect >= from_seq:
             self.pending_redirect = None
         self._last_ifetch_line = -1
 
 
-def simulate(trace: Trace, config: CoreConfig, max_cycles: int = 50_000_000) -> SimResult:
+def simulate(
+    trace: Trace,
+    config: CoreConfig,
+    max_cycles: int = 50_000_000,
+    tracer: Optional[Tracer] = None,
+    attribution: Optional[StallAttribution] = None,
+) -> SimResult:
     """Convenience wrapper: build a :class:`Pipeline` and run it."""
-    return Pipeline(trace, config).run(max_cycles=max_cycles)
+    pipeline = Pipeline(trace, config, tracer=tracer, attribution=attribution)
+    return pipeline.run(max_cycles=max_cycles)

@@ -22,6 +22,11 @@ from .ifop import InFlightOp
 CLASSES = ("Ld", "LdC", "Rst")
 SEGMENTS = ("decode_to_dispatch", "dispatch_to_ready", "ready_to_issue")
 
+#: Version of the serialized :class:`SimResult` layout.  Cache layers mix
+#: this into their keys so on-disk entries self-invalidate whenever the
+#: result schema changes (bump it when adding/removing fields).
+RESULT_SCHEMA_VERSION = 2
+
 
 @dataclass
 class DelayBreakdown:
@@ -89,6 +94,12 @@ class SimStats:
     energy_events: Counter = field(default_factory=Counter)
     #: scheduler-provided extras (steering outcomes, issue mix, ...)
     scheduler: Dict[str, float] = field(default_factory=dict)
+    #: stall-attribution category -> cycles (telemetry; empty when the
+    #: run had no :class:`~repro.telemetry.attribution.StallAttribution`).
+    #: When present, the values sum exactly to ``cycles``.
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+    #: structure -> mean per-cycle occupancy (telemetry; see above)
+    occupancy: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -107,6 +118,8 @@ class SimStats:
             "breakdown": self.breakdown.to_dict(),
             "energy_events": dict(self.energy_events),
             "scheduler": self.scheduler,
+            "stall_cycles": self.stall_cycles,
+            "occupancy": self.occupancy,
         }
 
     @classmethod
@@ -123,6 +136,8 @@ class SimStats:
             breakdown=DelayBreakdown.from_dict(data["breakdown"]),
             energy_events=Counter(data["energy_events"]),
             scheduler=data["scheduler"],
+            stall_cycles=data.get("stall_cycles", {}),
+            occupancy=data.get("occupancy", {}),
         )
         return stats
 

@@ -59,6 +59,8 @@ class LoadStoreUnit:
         self.forwards = 0
         self.violations = 0
         self.searches = 0
+        #: nullable telemetry sink; the pipeline wires its own tracer here
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # allocation (dispatch)
@@ -102,6 +104,8 @@ class LoadStoreUnit:
                     best = store
         if best is not None:
             self.forwards += 1
+            if self.tracer is not None:
+                self.tracer.emit(cycle, seq, "forward", f"from:{best.seq}")
             # data may not be produced yet; forwarding completes then
             ready = best.data_ready if best.data_ready is not None else None
             return ForwardResult(forwarded=True, ready_cycle=ready, source_seq=best.seq)
@@ -136,6 +140,11 @@ class LoadStoreUnit:
         ]
         if violators:
             self.violations += len(violators)
+            if self.tracer is not None:
+                for load_seq in violators:
+                    self.tracer.emit(
+                        cycle, load_seq, "violation", f"store:{seq}"
+                    )
         return sorted(violators)
 
     def store_data_ready(self, seq: int, cycle: int) -> None:

@@ -153,6 +153,9 @@ class BallerinoScheduler(SchedulerBase):
         ifop.iq_index = decision.target
         ifop.iq_partition = partition
         ifop.sched_tag = "piq"
+        self.trace_steer(
+            ifop, f"{decision.outcome}->piq{decision.target}.{partition}"
+        )
         self.energy["iq_write"] += 1
         self.energy["steer"] += 1
         if decision.followed_preg is not None:

@@ -43,6 +43,17 @@ class SchedulerBase:
         self.core = core
         self.energy = core.energy
 
+    # -- telemetry -----------------------------------------------------
+    def trace_steer(self, ifop: InFlightOp, cause: str) -> None:
+        """Publish a ``steer`` event for this op (no-op when tracing is off).
+
+        ``cause`` names the movement, e.g. ``dc->piq3.0`` or ``pass->q2``.
+        """
+        # getattr: unit tests drive schedulers with stripped-down fake cores
+        tracer = getattr(self.core, "tracer", None)
+        if tracer is not None:
+            tracer.emit(self.core.cycle, ifop.seq, "steer", cause)
+
     # -- dispatch ------------------------------------------------------
     def can_accept(self, ifop: InFlightOp) -> bool:
         raise NotImplementedError

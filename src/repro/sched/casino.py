@@ -125,6 +125,7 @@ class CasinoScheduler(SchedulerBase):
         for op in passed:
             op.iq_index = qi + 1
             next_queue.append(op)
+            self.trace_steer(op, f"pass->q{qi + 1}")
             self.passes += 1
             self.energy["iq_write"] += 1  # physical copy to the next queue
         return issued

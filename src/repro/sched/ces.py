@@ -120,6 +120,7 @@ class CESScheduler(SchedulerBase):
         queue = self.piqs[target]
         queue.append(ifop)
         ifop.iq_index = target
+        self.trace_steer(ifop, f"{decision.outcome}->piq{target}")
         self.energy["iq_write"] += 1
         if decision.followed_preg is not None:
             self.steer.reserve(decision.followed_preg)

@@ -72,6 +72,7 @@ class FXAScheduler(SchedulerBase):
                 # executes on an IXU ALU: no back-end port consumed
                 core.ports.unassign(op.port)
                 op.sched_tag = "ixu_exec"
+                self.trace_steer(op, "ixu_exec")
                 self.ixu_executed += 1
                 ixu_issues += 1
                 issued.append(op)
@@ -81,6 +82,7 @@ class FXAScheduler(SchedulerBase):
                 if self.backend.can_accept(op):
                     self.backend.insert(op, cycle)
                     op.sched_tag = "backend"
+                    self.trace_steer(op, "to_backend")
                 else:
                     still.append((entered, op))  # back-end full: stall here
                     break

@@ -1,0 +1,168 @@
+"""Trace exporters: Chrome trace-event JSON and Konata pipeline logs.
+
+Two viewer formats are produced from one :class:`~repro.telemetry.tracer.
+Tracer`:
+
+* **Chrome trace-event JSON** (``chrome://tracing`` / Perfetto): each µop
+  lifecycle becomes a run of complete ("X") events — one slice per
+  pipeline stage — on a greedily packed lane, with auxiliary events
+  (steering, forwarding, violations, squashes) as instants.  One
+  simulated cycle maps to one microsecond of trace time.
+* **Konata** (https://github.com/shioyadan/Konata): the classic
+  cycle-by-cycle pipeline viewer format (``Kanata 0004``): ``I``/``L``
+  declare each µop, ``S`` marks stage starts, ``R`` retires or flushes.
+
+Both writers are pure functions of the tracer; they can run after the
+simulation finished (the tracer is append-only).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import LIFECYCLE_RANK, TraceEvent, Tracer
+
+#: Konata stage mnemonics per lifecycle stage.
+_KONATA_STAGE = {
+    "fetch": "F", "rename": "Rn", "dispatch": "Ds", "issue": "Is",
+    "execute": "Ex", "writeback": "Wb", "commit": "Cm",
+}
+
+
+def _attempt_spans(events: List[TraceEvent]) -> List[Tuple[str, int, int, str]]:
+    """(stage, start, end, cause) spans for one fetch attempt.
+
+    Each lifecycle stage runs from its own event to the next stage's
+    event (minimum one cycle); auxiliary events do not open spans.
+    """
+    stages = [e for e in events if e.stage in LIFECYCLE_RANK]
+    spans = []
+    for i, event in enumerate(stages):
+        if i + 1 < len(stages):
+            end = max(stages[i + 1].cycle, event.cycle + 1)
+        else:
+            end = event.cycle + 1
+        spans.append((event.stage, event.cycle, end, event.cause))
+    return spans
+
+
+def _label(tracer: Tracer, seq: int) -> str:
+    info = tracer.ops.get(seq)
+    if info is None:
+        return f"uop {seq}"
+    return f"{info.opcode} @pc={info.pc} (seq {seq})"
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    label: str = "repro",
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the trace as Chrome trace-event JSON; returns the path."""
+    out: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 0, "name": "process_name",
+         "args": {"name": f"repro pipeline: {label}"}},
+    ]
+    # greedy lane packing: each fetch attempt occupies one lane for its
+    # whole lifetime, reusing the lowest lane free at its first cycle
+    lane_busy_until: List[int] = []
+    lane_of: Dict[Tuple[int, int], int] = {}
+    attempts = []
+    for seq in tracer.seqs():
+        for attempt_index, events in enumerate(tracer.attempts_for(seq)):
+            spans = _attempt_spans(events)
+            if spans:
+                attempts.append((seq, attempt_index, events, spans))
+    attempts.sort(key=lambda item: item[3][0][1])  # by first stage start
+    for seq, attempt_index, events, spans in attempts:
+        start, end = spans[0][1], spans[-1][2]
+        for lane, busy_until in enumerate(lane_busy_until):
+            if busy_until <= start:
+                break
+        else:
+            lane = len(lane_busy_until)
+            lane_busy_until.append(0)
+        lane_busy_until[lane] = end
+        lane_of[(seq, attempt_index)] = lane
+        for stage, span_start, span_end, cause in spans:
+            args: Dict[str, object] = {"seq": seq, "op": _label(tracer, seq)}
+            if cause:
+                args["cause"] = cause
+            out.append({
+                "name": stage, "cat": "uop", "ph": "X",
+                "ts": span_start, "dur": span_end - span_start,
+                "pid": 0, "tid": lane, "args": args,
+            })
+        for event in events:
+            if event.stage in LIFECYCLE_RANK:
+                continue
+            out.append({
+                "name": event.stage, "cat": "aux", "ph": "i", "s": "t",
+                "ts": event.cycle, "pid": 0, "tid": lane,
+                "args": {"seq": seq, "cause": event.cause},
+            })
+    document: Dict[str, object] = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry", "cycles_per_us": 1},
+    }
+    if metadata:
+        document["otherData"].update(metadata)
+    target = Path(path)
+    target.write_text(json.dumps(document))
+    return target
+
+
+def read_chrome_trace(path: str) -> Dict[str, object]:
+    """Load a Chrome trace-event JSON written by :func:`write_chrome_trace`."""
+    document = json.loads(Path(path).read_text())
+    if "traceEvents" not in document:
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return document
+
+
+def write_konata(tracer: Tracer, path: str) -> Path:
+    """Write the trace as a Konata (``Kanata 0004``) pipeline log."""
+    lines: List[str] = ["Kanata\t0004"]
+    ordered = sorted(
+        range(len(tracer.events)), key=lambda i: (tracer.events[i].cycle, i)
+    )
+    current_cycle: Optional[int] = None
+    next_uid = 0
+    uid_of: Dict[int, int] = {}  # seq -> uid of the live attempt
+    for index in ordered:
+        event = tracer.events[index]
+        if current_cycle is None:
+            lines.append(f"C=\t{event.cycle}")
+            current_cycle = event.cycle
+        elif event.cycle > current_cycle:
+            lines.append(f"C\t{event.cycle - current_cycle}")
+            current_cycle = event.cycle
+        seq = event.seq
+        if event.stage == "fetch":
+            uid = next_uid
+            next_uid += 1
+            uid_of[seq] = uid
+            lines.append(f"I\t{uid}\t{seq}\t0")
+            lines.append(f"L\t{uid}\t0\t{_label(tracer, seq)}")
+        uid = uid_of.get(seq)
+        if uid is None:
+            continue  # event for a µop whose fetch predates tracing
+        stage = _KONATA_STAGE.get(event.stage)
+        if stage is not None:
+            lines.append(f"S\t{uid}\t0\t{stage}")
+        elif event.stage == "squash":
+            lines.append(f"L\t{uid}\t1\tsquash: {event.cause}")
+            lines.append(f"R\t{uid}\t{seq}\t1")
+            uid_of.pop(seq, None)
+        elif event.cause:
+            lines.append(f"L\t{uid}\t1\t{event.stage}: {event.cause}")
+        if event.stage == "commit":
+            lines.append(f"R\t{uid}\t{seq}\t0")
+            uid_of.pop(seq, None)
+    target = Path(path)
+    target.write_text("\n".join(lines) + "\n")
+    return target

@@ -239,6 +239,36 @@ def _reduce_chain(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
     return b.build(), memory
 
 
+def _dotprod(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
+    """sum += a[i] * b[i]: two streams feeding a serial FP accumulator.
+
+    The textbook tracing demo: plenty of load-level parallelism up front,
+    one serial add chain at the back — both phases are obvious in a
+    pipeline-viewer timeline.
+    """
+    rng = random.Random(seed)
+    memory = {REGION_A + i * WORD: rng.uniform(-1, 1) for i in range(n)}
+    memory.update(
+        {REGION_B + i * WORD: rng.uniform(-1, 1) for i in range(n)}
+    )
+    b = ProgramBuilder("dotprod")
+    b.li(R[16], REGION_A)
+    b.li(R[17], REGION_B)
+    b.li(R[19], 0)
+    b.li(R[20], n)
+    b.label("loop")
+    b.fload(F[1], R[16], 0)
+    b.fload(F[2], R[17], 0)
+    b.fmul(F[3], F[1], F[2])
+    b.fadd(F[4], F[4], F[3])  # serial accumulator
+    b.addi(R[16], R[16], WORD)
+    b.addi(R[17], R[17], WORD)
+    b.addi(R[19], R[19], 1)
+    b.blt(R[19], R[20], "loop")
+    b.halt()
+    return b.build(), memory
+
+
 def _histogram(n: int, seed: int) -> Tuple[Program, Dict[int, float]]:
     """bins[a[i] & 63] += 1: frequent store->load aliasing (MDP stressor)."""
     rng = random.Random(seed)
@@ -527,6 +557,8 @@ KERNELS: Dict[str, KernelSpec] = {
         KernelSpec("mdep_chain", "M-dependent load behind a slow store",
                    _mdep_chain, 11),
         # extra kernels, outside the default evaluation suite
+        KernelSpec("dotprod", "two streams into a serial FP accumulator",
+                   _dotprod, 9, in_suite=False),
         KernelSpec("binary_search", "dependent loads + hard branches",
                    _binary_search, 80, in_suite=False),
         KernelSpec("transpose_blocks", "strided column stores",

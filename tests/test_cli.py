@@ -50,6 +50,65 @@ class TestSimulate:
             cli("simulate", "histogram", "nosuch")
 
 
+class TestTrace:
+    def test_trace_prints_stall_attribution(self, cli, capsys):
+        assert cli("trace", "dotprod", "ballerino") == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "TOTAL" in out and "100.0" in out
+        assert "events traced" in out
+
+    def test_trace_writes_chrome_json(self, cli, capsys, tmp_path):
+        from repro.telemetry import read_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert cli("trace", "dotprod", "ooo", "--trace-out", str(path)) == 0
+        document = read_chrome_trace(str(path))
+        assert document["traceEvents"]
+        assert str(path) in capsys.readouterr().out
+
+    def test_trace_konata_inferred_from_extension(self, cli, tmp_path):
+        path = tmp_path / "trace.kanata"
+        assert cli("trace", "dotprod", "inorder", "--trace-out", str(path)) == 0
+        assert path.read_text().startswith("Kanata\t0004")
+
+    def test_trace_format_flag_overrides_extension(self, cli, tmp_path):
+        path = tmp_path / "trace.json"
+        assert cli("trace", "dotprod", "ooo", "--trace-out", str(path),
+                   "--trace-format", "konata") == 0
+        assert path.read_text().startswith("Kanata\t0004")
+
+    def test_trace_rejects_unknown_arch(self, cli):
+        with pytest.raises(SystemExit):
+            cli("trace", "dotprod", "nosuch")
+
+    def test_simulate_accepts_trace_out(self, cli, capsys, tmp_path):
+        path = tmp_path / "sim.json"
+        assert cli("simulate", "dotprod", "ooo", "--trace-out", str(path)) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert path.exists()
+
+    def test_compare_writes_one_trace_per_arch(self, cli, tmp_path):
+        path = tmp_path / "cmp.json"
+        assert cli("compare", "dotprod", "inorder", "ooo",
+                   "--trace-out", str(path)) == 0
+        assert (tmp_path / "cmp.inorder.json").exists()
+        assert (tmp_path / "cmp.ooo.json").exists()
+
+
+class TestReport:
+    def test_report_renders_paper_comparison(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", str(tmp_path / "cache"))
+        # 600 ops keeps the full multi-figure sweep fast enough for CI
+        assert main(["--ops", "600", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs. measured" in out
+        assert "Figure 11" in out and "Figure 13" in out
+        assert "GEOMEAN" not in out.split("Figure 11")[0]  # header is prose
+
+
 class TestCompare:
     def test_compare_defaults(self, cli, capsys):
         assert cli("compare", "matmul_tile", "inorder", "ooo") == 0

@@ -21,6 +21,7 @@ class TestDocFiles:
         "docs/workloads.md",
         "docs/energy_model.md",
         "docs/api.md",
+        "docs/observability.md",
     ])
     def test_exists_and_nonempty(self, path):
         file = REPO / path
