@@ -1,0 +1,142 @@
+"""Wall-clock performance harness for the simulator and experiment runner.
+
+Times a small suite matrix under the experiment runner in four phases —
+trace construction, serial cold run, parallel cold run, fully-cached warm
+run — plus a single-simulation microbenchmark, and writes the numbers to
+a JSON file (default ``BENCH_PR2.json``)::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py --smoke
+    PYTHONPATH=src python benchmarks/perf_harness.py --jobs 8 --ops 20000
+
+The JSON records wall-clock seconds, simulations per second, and cache
+hits per phase (see docs/performance.md for how to read it).  ``--smoke``
+shrinks the matrix for CI.  All phases use throwaway cache directories,
+so the harness never pollutes (or benefits from) the repo's
+``.bench_cache``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.runner import ExperimentRunner  # noqa: E402
+from repro.core.config import config_for  # noqa: E402
+from repro.core.pipeline import simulate  # noqa: E402
+from repro.workloads.suite import SMOKE_NAMES, get_trace  # noqa: E402
+
+SMOKE_ARCHES = ("ooo", "ballerino", "ces")
+FULL_ARCHES = ("inorder", "ooo", "ces", "casino", "fxa", "ballerino", "dnb")
+
+
+def _phase(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def run_harness(ops: int, jobs: int, smoke: bool) -> dict:
+    workloads = SMOKE_NAMES if smoke else SMOKE_NAMES + ("mdep_chain", "dag_wide")
+    arches = SMOKE_ARCHES if smoke else FULL_ARCHES
+    tasks = [(w, config_for(a)) for a in arches for w in workloads]
+    report = {
+        "ops": ops,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "workloads": list(workloads),
+        "arches": list(arches),
+        "simulations": len(tasks),
+        "phases": {},
+    }
+
+    def record(name, seconds, runner=None, sims=None):
+        sims = runner.simulations_run if sims is None else sims
+        report["phases"][name] = {
+            "seconds": round(seconds, 3),
+            "simulations": sims,
+            "sims_per_sec": round(sims / seconds, 2) if seconds > 0 else None,
+            "cache_hits": runner.cache_hits if runner is not None else 0,
+        }
+
+    # 0) trace construction (functional execution), so the cold phases
+    #    below time *simulation*, not workload generation
+    seconds, _ = _phase(lambda: [get_trace(w, ops, 7) for w in workloads])
+    report["phases"]["trace_warm"] = {
+        "seconds": round(seconds, 3), "traces": len(workloads)
+    }
+
+    with tempfile.TemporaryDirectory() as cold_dir:
+        runner = ExperimentRunner(target_ops=ops, cache_dir=cold_dir)
+        seconds, _ = _phase(lambda: runner.run_many(tasks, jobs=1))
+        record("serial_cold", seconds, runner)
+
+    with tempfile.TemporaryDirectory() as cold_dir:
+        runner = ExperimentRunner(target_ops=ops, cache_dir=cold_dir)
+        seconds, _ = _phase(lambda: runner.run_many(tasks, jobs=jobs))
+        record("parallel_cold", seconds, runner)
+
+        # 3) warm: everything served from the cache the parallel run left
+        warm = ExperimentRunner(target_ops=ops, cache_dir=cold_dir)
+        seconds, _ = _phase(lambda: warm.run_many(tasks, jobs=jobs))
+        record("warm_cached", seconds, warm)
+
+    serial = report["phases"]["serial_cold"]["seconds"]
+    parallel = report["phases"]["parallel_cold"]["seconds"]
+    report["parallel_speedup"] = round(serial / parallel, 2) if parallel else None
+
+    # 4) single-simulation microbench (the event-driven wakeup fast path)
+    trace = get_trace(workloads[0], ops, 7)
+    for arch in ("ooo", "ballerino"):
+        config = config_for(arch)
+        seconds, result = _phase(lambda: simulate(trace, config))
+        report["phases"][f"single_sim_{arch}"] = {
+            "seconds": round(seconds, 3),
+            "cycles": result.cycles,
+            "kcycles_per_sec": round(result.cycles / seconds / 1000, 1),
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small matrix for CI (4 workloads x 3 arches)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="workers for the parallel phase "
+                             "(default: cpu count, capped at 8)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="micro-ops per trace (default: 3000 smoke, "
+                             "10000 full)")
+    parser.add_argument("--out", default="BENCH_PR2.json", metavar="FILE",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs else min(os.cpu_count() or 1, 8)
+    ops = args.ops if args.ops else (3000 if args.smoke else 10_000)
+    report = run_harness(ops=ops, jobs=jobs, smoke=args.smoke)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    phases = report["phases"]
+    print(f"wrote {args.out}")
+    print(f"  serial cold    {phases['serial_cold']['seconds']:8.2f}s "
+          f"({phases['serial_cold']['sims_per_sec']} sims/s)")
+    print(f"  parallel cold  {phases['parallel_cold']['seconds']:8.2f}s "
+          f"(jobs={jobs}, speedup {report['parallel_speedup']}x)")
+    print(f"  warm cached    {phases['warm_cached']['seconds']:8.2f}s "
+          f"({phases['warm_cached']['cache_hits']} hits)")
+    for arch in ("ooo", "ballerino"):
+        p = phases[f"single_sim_{arch}"]
+        print(f"  single {arch:10s} {p['seconds']:6.2f}s "
+              f"({p['kcycles_per_sec']} kcycles/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,15 +1,23 @@
-"""Experiment runner with a persistent result cache.
+"""Experiment runner with a persistent result cache and a parallel mode.
 
 Every figure in the paper's evaluation replays the same (workload, config)
 simulations; the runner memoises each run both in memory and on disk
 (JSON under ``.bench_cache/``) so the whole benchmark suite pays for each
-simulation exactly once.
+simulation exactly once.  :meth:`ExperimentRunner.run_many` additionally
+fans uncached (workload, config, seed) tuples across a
+``ProcessPoolExecutor``; the disk cache is the merge point, so parallel
+and serial execution are byte-identical and every later lookup is a hit.
+
+Cache entries are written atomically (``*.tmp`` + ``os.replace``) so
+concurrent workers can never expose a torn file, and a corrupt/truncated
+entry is treated as a miss (deleted and re-simulated), never a crash.
 
 Environment knobs:
 
 * ``REPRO_BENCH_OPS`` — dynamic micro-ops per workload trace (default 10000).
 * ``REPRO_BENCH_SEED`` — workload data seed (default 7).
 * ``REPRO_BENCH_CACHE`` — cache directory ("" disables the disk cache).
+* ``REPRO_BENCH_JOBS`` — default worker count for ``run_many`` (default 1).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import json
 import math
 import os
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.config import CoreConfig, config_for
 from ..core.pipeline import simulate
@@ -28,6 +36,36 @@ from ..workloads.suite import SUITE_NAMES, get_trace
 
 DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
 DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: One run request: (workload, config) or (workload, config, seed).
+Task = Union[
+    Tuple[str, CoreConfig],
+    Tuple[str, CoreConfig, Optional[int]],
+]
+
+
+def _atomic_write_json(path: Path, payload: Dict) -> None:
+    """Write ``payload`` to ``path`` so readers never see a torn file."""
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, path)
+
+
+def _run_task(payload) -> Dict:
+    """Pool worker: simulate one (workload, config, seed) tuple.
+
+    Module-level so it pickles; returns ``SimResult.to_dict()`` and, when
+    a cache directory is configured, publishes the entry atomically so
+    sibling workers and future runners share it.
+    """
+    workload, config, seed, target_ops, cache_dir, key = payload
+    trace = get_trace(workload, target_ops, seed)
+    result = simulate(trace, config)
+    data = result.to_dict()
+    if cache_dir:
+        _atomic_write_json(Path(cache_dir) / f"{key}.json", data)
+    return data
 
 
 class ExperimentRunner:
@@ -38,9 +76,11 @@ class ExperimentRunner:
         target_ops: int = DEFAULT_OPS,
         seed: int = DEFAULT_SEED,
         cache_dir: Optional[str] = None,
+        jobs: Optional[int] = None,
     ):
         self.target_ops = target_ops
         self.seed = seed
+        self.jobs = max(1, DEFAULT_JOBS if jobs is None else jobs)
         if cache_dir is None:
             cache_dir = os.environ.get(
                 "REPRO_BENCH_CACHE",
@@ -72,6 +112,42 @@ class ExperimentRunner:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
+    def _load_disk(self, key: str) -> Optional[SimResult]:
+        """Fetch one disk-cache entry; a corrupt entry is a miss."""
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return SimResult.from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, TypeError):
+            # truncated / corrupt (e.g. a worker died mid-write before
+            # writes were atomic): drop it and re-simulate
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _fetch_cached(self, key: str) -> Optional[SimResult]:
+        """Memory-then-disk lookup; counts a hit when found."""
+        result = self._memory.get(key)
+        if result is None:
+            result = self._load_disk(key)
+            if result is not None:
+                self._memory[key] = result
+        if result is not None:
+            self.cache_hits += 1
+        return result
+
+    def _store(self, key: str, result: SimResult) -> None:
+        self._memory[key] = result
+        if self.cache_dir is not None:
+            _atomic_write_json(
+                self.cache_dir / f"{key}.json", result.to_dict()
+            )
+
     def run(self, workload: str, config: CoreConfig,
             seed: Optional[int] = None) -> SimResult:
         """Run (or fetch) one simulation.
@@ -81,30 +157,78 @@ class ExperimentRunner:
         """
         seed = self.seed if seed is None else seed
         key = self._key(workload, config, seed)
-        if key in self._memory:
-            self.cache_hits += 1
-            return self._memory[key]
-        if self.cache_dir is not None:
-            path = self.cache_dir / f"{key}.json"
-            if path.exists():
-                result = SimResult.from_dict(json.loads(path.read_text()))
-                self._memory[key] = result
-                self.cache_hits += 1
-                return result
+        result = self._fetch_cached(key)
+        if result is not None:
+            return result
         trace = get_trace(workload, self.target_ops, seed)
         result = simulate(trace, config)
         self.simulations_run += 1
-        self._memory[key] = result
-        if self.cache_dir is not None:
-            (self.cache_dir / f"{key}.json").write_text(
-                json.dumps(result.to_dict())
-            )
+        self._store(key, result)
         return result
 
+    # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
+    def run_many(self, tasks: Sequence[Task],
+                 jobs: Optional[int] = None) -> List[SimResult]:
+        """Run (or fetch) a batch of simulations, results in task order.
+
+        Each task is ``(workload, config)`` or ``(workload, config,
+        seed)``.  Cached tuples are served immediately; the uncached
+        remainder is deduplicated and — with ``jobs > 1`` — fanned
+        across a ``ProcessPoolExecutor``.  Workers publish their results
+        through the (atomic) disk cache, so a parallel batch leaves the
+        cache in exactly the state a serial run would, and results are
+        byte-identical to serial execution.
+
+        ``jobs=None`` uses the runner's default (the ``jobs``
+        constructor argument / ``REPRO_BENCH_JOBS``).
+        """
+        norm: List[Tuple[str, CoreConfig, int]] = []
+        for task in tasks:
+            workload, config = task[0], task[1]
+            seed = task[2] if len(task) > 2 and task[2] is not None else self.seed
+            norm.append((workload, config, seed))
+        keys = [self._key(w, c, s) for w, c, s in norm]
+        jobs = self.jobs if jobs is None else max(1, jobs)
+
+        pending: Dict[str, Tuple[str, CoreConfig, int]] = {}
+        for key, triple in zip(keys, norm):
+            if key in pending:
+                continue
+            if self._fetch_cached(key) is None:
+                pending[key] = triple
+
+        if pending and jobs > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            cache = str(self.cache_dir) if self.cache_dir is not None else ""
+            payloads = [
+                (w, c, s, self.target_ops, cache, key)
+                for key, (w, c, s) in pending.items()
+            ]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) \
+                    as pool:
+                for key, data in zip(
+                    pending, pool.map(_run_task, payloads)
+                ):
+                    self._memory[key] = SimResult.from_dict(data)
+                    self.simulations_run += 1
+        else:
+            for key, (w, c, s) in pending.items():
+                trace = get_trace(w, self.target_ops, s)
+                result = simulate(trace, c)
+                self.simulations_run += 1
+                self._store(key, result)
+        return [self._memory[key] for key in keys]
+
     def run_seeds(self, workload: str, config: CoreConfig,
-                  seeds: Sequence[int]) -> List[SimResult]:
+                  seeds: Sequence[int],
+                  jobs: Optional[int] = None) -> List[SimResult]:
         """Run the same (workload, config) across several data seeds."""
-        return [self.run(workload, config, seed=seed) for seed in seeds]
+        return self.run_many(
+            [(workload, config, seed) for seed in seeds], jobs=jobs
+        )
 
     def run_arch(self, workload: str, arch: str, width: int = 8, **overrides) -> SimResult:
         """Run (or fetch) using a named architecture preset."""
@@ -115,21 +239,29 @@ class ExperimentRunner:
         self,
         config: CoreConfig,
         workloads: Sequence[str] = SUITE_NAMES,
+        jobs: Optional[int] = None,
     ) -> Dict[str, SimResult]:
         """Run the whole suite under one configuration."""
-        return {name: self.run(name, config) for name in workloads}
+        results = self.run_many(
+            [(name, config) for name in workloads], jobs=jobs
+        )
+        return dict(zip(workloads, results))
 
     def speedups_over(
         self,
         config: CoreConfig,
         baseline: CoreConfig,
         workloads: Sequence[str] = SUITE_NAMES,
+        jobs: Optional[int] = None,
     ) -> Dict[str, float]:
         """Per-workload speedup (execution time ratio) of config vs baseline."""
+        tasks: List[Task] = [(name, baseline) for name in workloads]
+        tasks += [(name, config) for name in workloads]
+        results = self.run_many(tasks, jobs=jobs)
         out = {}
-        for name in workloads:
-            base = self.run(name, baseline)
-            test = self.run(name, config)
+        for index, name in enumerate(workloads):
+            base = results[index]
+            test = results[index + len(workloads)]
             out[name] = base.seconds / test.seconds
         return out
 

@@ -75,6 +75,7 @@ def sweep(
     config_builder: Callable[..., CoreConfig] = None,
     workloads: Sequence[str] = SUITE_NAMES,
     runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run the cartesian product of ``axes`` over ``workloads``.
 
@@ -86,25 +87,33 @@ def sweep(
             expected, plus optional ``width`` / ``num_piqs`` / ...).
         workloads: kernels to run each configuration on.
         runner: shared (cached) runner; a default one is created if absent.
+        jobs: worker processes for the uncached cells (``None``: the
+            runner's default; ``1``: serial).  Results are identical
+            either way — parallel workers merge through the disk cache.
 
     Example::
 
         result = sweep(
             {"arch": ["ballerino"], "num_piqs": [5, 7, 9, 11]},
             workloads=["dag_wide", "hash_probe"],
+            jobs=4,
         )
         result.geomean_ipc(num_piqs=11)
     """
     config_builder = config_builder if config_builder is not None else config_for
     runner = runner if runner is not None else ExperimentRunner()
     names = list(axes)
-    points: List[SweepPoint] = []
+    cells: List[tuple] = []
     for combo in itertools.product(*(axes[name] for name in names)):
         params = dict(zip(names, combo))
         config = config_builder(**params)
         for workload in workloads:
-            result = runner.run(workload, config)
-            points.append(
-                SweepPoint(params=params, workload=workload, result=result)
-            )
+            cells.append((params, workload, config))
+    results = runner.run_many(
+        [(workload, config) for _, workload, config in cells], jobs=jobs
+    )
+    points = [
+        SweepPoint(params=params, workload=workload, result=result)
+        for (params, workload, _), result in zip(cells, results)
+    ]
     return SweepResult(points)

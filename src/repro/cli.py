@@ -12,9 +12,11 @@ Commands:
   writes a Chrome trace-event JSON (or Konata log) and prints the
   stall-attribution and occupancy breakdowns (see docs/observability.md).
 
-All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` and use
-the shared ``.bench_cache`` result cache; traced runs bypass the cache
-(``simulate``/``compare`` also accept ``--trace-out``).
+All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` /
+``--jobs`` and use the shared ``.bench_cache`` result cache
+(``--jobs N`` fans uncached simulations across N worker processes —
+results are identical to serial; see docs/performance.md).  Traced runs
+bypass the cache (``simulate``/``compare`` also accept ``--trace-out``).
 """
 
 from __future__ import annotations
@@ -50,6 +52,9 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="issue width")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for uncached simulations "
+                             "(default: $REPRO_BENCH_JOBS or 1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the kernel suite")
@@ -102,7 +107,7 @@ def _make_parser() -> argparse.ArgumentParser:
 def _runner(args) -> ExperimentRunner:
     cache = "" if args.no_cache else None
     return ExperimentRunner(target_ops=args.ops, seed=args.seed,
-                            cache_dir=cache)
+                            cache_dir=cache, jobs=args.jobs)
 
 
 def _cmd_workloads(args) -> int:
@@ -239,11 +244,19 @@ def _trace_path_for_arch(path: str, arch: str) -> str:
 def _cmd_compare(args) -> int:
     runner = _runner(args)
     model = EnergyModel()
-    rows = []
     for arch in args.arches:
         if arch not in _ALL_ARCHES:
             print(f"unknown arch: {arch}", file=sys.stderr)
             return 2
+    if not args.trace_out:
+        # batch the uncached runs (parallel under --jobs); the loop
+        # below then reads everything from the runner's cache
+        runner.run_many([
+            (args.workload, config_for(arch, width=args.width))
+            for arch in args.arches
+        ])
+    rows = []
+    for arch in args.arches:
         if args.trace_out:
             result, tracer, _ = _traced_run(args.workload, arch, args)
             _write_trace_file(
@@ -269,6 +282,11 @@ def _cmd_compare(args) -> int:
 
 def _cmd_suite(args) -> int:
     runner = _runner(args)
+    runner.run_many([
+        (workload, config_for(arch, width=args.width))
+        for arch in ("inorder", args.arch)
+        for workload in SUITE_NAMES
+    ])
     rows = []
     speedups = []
     for workload in SUITE_NAMES:

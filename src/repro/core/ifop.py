@@ -39,6 +39,8 @@ class InFlightOp:
         "iq_index",
         "iq_partition",
         "sched_tag",
+        "wake_pending",
+        "mdp_waiting",
     )
 
     def __init__(self, seq: int, op: DynOp, decode_cycle: int):
@@ -63,6 +65,11 @@ class InFlightOp:
         self.iq_index: int = -1
         self.iq_partition: int = 0
         self.sched_tag: str = ""
+        # event-driven wakeup state (see repro.core.wakeup): number of
+        # source pregs still in flight, and whether an MDP dependence is
+        # still unsatisfied.  Maintained by the WakeupScoreboard.
+        self.wake_pending: int = 0
+        self.mdp_waiting: bool = False
 
     # convenience passthroughs -----------------------------------------
     @property

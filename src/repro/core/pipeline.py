@@ -42,6 +42,7 @@ from .ports import PORT_MAPS_BY_WIDTH, PortFile
 from .regready import ReadyFile
 from .rob import ReorderBuffer
 from .stats import SimResult, SimStats
+from .wakeup import WakeupScoreboard
 
 #: FU energy-event name per op class.
 _FU_EVENT = {
@@ -115,6 +116,7 @@ class Pipeline:
         self.decode_queue: Deque[InFlightOp] = deque()
         self.dispatch_queue: Deque[Tuple[int, InFlightOp]] = deque()
         self.inflight: Dict[int, InFlightOp] = {}
+        self.wakeup = WakeupScoreboard(self.inflight, self.ready)
         self._events: List[Tuple[int, int, int, str, InFlightOp]] = []
         self._event_counter = 0
         self._store_issued: Dict[int, int] = {}  # store seq -> issue cycle
@@ -132,21 +134,20 @@ class Pipeline:
     # services used by schedulers
     # ==================================================================
     def srcs_ready(self, ifop: InFlightOp, cycle: int) -> bool:
-        ready = self.ready
-        for preg in ifop.src_pregs:
-            if not ready.is_ready(preg, cycle):
-                return False
-        return True
+        # O(1): the wakeup scoreboard keeps this count current (each
+        # completion decrements its consumers during the completion phase
+        # of the cycle it lands in — exactly when a per-src poll of the
+        # ReadyFile would have started returning True).
+        return ifop.wake_pending == 0
 
     def mdp_dep_satisfied(self, ifop: InFlightOp) -> bool:
-        dep = ifop.mdp_dep_seq
-        if dep is None or dep < self.commit_count:
-            return True
-        return dep in self._store_issued
+        # O(1): set at dispatch iff the dependence store had not issued
+        # yet, cleared by the store's issue broadcast.
+        return not ifop.mdp_waiting
 
     def op_ready(self, ifop: InFlightOp, cycle: int) -> bool:
         """All register operands ready and any MDP dependence satisfied."""
-        return self.srcs_ready(ifop, cycle) and self.mdp_dep_satisfied(ifop)
+        return ifop.wake_pending == 0 and not ifop.mdp_waiting
 
     def try_grant(self, ifop: InFlightOp, cycle: int) -> bool:
         """Request this op's issue port; True (and consumed) if granted."""
@@ -229,6 +230,24 @@ class Pipeline:
         assert unissued <= self.scheduler.occupancy() + len(
             self.dispatch_queue
         ), "scheduler lost track of an un-issued op"
+        # the event-driven wakeup counts must agree with a readiness poll
+        for op in self.rob._entries:
+            if op.issued:
+                continue
+            polled = self.wakeup.pending_debug(op, self.cycle)
+            assert op.wake_pending == polled, (
+                f"seq {op.seq}: scoreboard says {op.wake_pending} pending "
+                f"sources, poll says {polled}"
+            )
+            dep = op.mdp_dep_seq
+            legacy = (
+                dep is None or dep < self.commit_count
+                or dep in self._store_issued
+            )
+            assert (not op.mdp_waiting) == legacy, (
+                f"seq {op.seq}: mdp_waiting={op.mdp_waiting} disagrees "
+                f"with polled MDP dependence state"
+            )
 
     # ==================================================================
     # commit
@@ -290,6 +309,8 @@ class Pipeline:
             self.ready.mark_ready(ifop.dest_preg, when)
             self.energy["prf_write"] += 1
             self.scheduler.on_wakeup(ifop.dest_preg, when)
+            for waiter in self.wakeup.wake(ifop.dest_preg, when):
+                self.scheduler.on_op_ready(waiter, when)
             if tracer is not None:
                 tracer.emit(when, ifop.seq, "wakeup", f"p{ifop.dest_preg}")
         self.scheduler.on_complete(ifop, when)
@@ -388,6 +409,8 @@ class Pipeline:
             if self.mdp is not None:
                 self.mdp.store_issued(ifop.op.pc, ifop.seq)
             self._store_issued[ifop.seq] = cycle
+            for waiter in self.wakeup.store_issued(ifop.seq):
+                self.scheduler.on_op_ready(waiter, cycle)
             self._schedule(cycle + 1, ifop, "store_agu")
         else:
             self._schedule(cycle + ifop.opcode.latency, ifop, "exec")
@@ -441,6 +464,8 @@ class Pipeline:
                 self.energy["mdp_access"] += 1
                 if dep is not None and self.commit_count <= dep < ifop.seq:
                     ifop.mdp_dep_seq = dep
+                    if dep not in self._store_issued:
+                        self.wakeup.register_mdp(ifop)
             self.scheduler.insert(ifop, cycle)
             self.energy["dispatch"] += 1
             self.energy["rob_write"] += 1
@@ -492,6 +517,7 @@ class Pipeline:
             ifop.dest_arch = rename_rec.dest_arch
             if ifop.dest_preg is not None:
                 self.ready.mark_pending(ifop.dest_preg)
+            self.wakeup.register(ifop, cycle)
             ifop.port = self.ports.assign(op.opcode.op_class)
             self._classify(ifop)
             if self.tracer is not None:

@@ -8,6 +8,9 @@ pipeline calls:
   acquiring issue ports through ``core.try_grant``, and returns them;
 * :meth:`on_wakeup` when a physical register becomes ready (used for
   energy accounting of wakeup broadcasts);
+* :meth:`on_op_ready` when a specific op's *last* outstanding dependence
+  resolves (event-driven wakeup; lets windowed schedulers maintain
+  their ready-set incrementally instead of re-polling every entry);
 * :meth:`flush_from` on a squash.
 
 Schedulers record their energy-relevant activity into ``core.energy``
@@ -67,6 +70,18 @@ class SchedulerBase:
 
     def on_wakeup(self, preg: int, cycle: int) -> None:
         """A physical register became ready (energy accounting hook)."""
+
+    def on_op_ready(self, ifop: InFlightOp, cycle: int) -> None:
+        """``ifop`` transitioned to fully ready (event-driven wakeup).
+
+        Fired by the pipeline's :class:`~repro.core.wakeup.
+        WakeupScoreboard` for every op whose last outstanding source (or
+        MDP dependence) just resolved — wherever the op currently sits.
+        Schedulers that keep an incremental ready-set override this; the
+        default (head-polling FIFO designs, whose per-head check is
+        already O(1)) ignores it.  Implementations must tolerate ops
+        that are not (or no longer) resident in their window.
+        """
 
     def on_complete(self, ifop: InFlightOp, cycle: int) -> None:
         """An op finished execution (training hook, e.g. delay trackers)."""

@@ -172,6 +172,11 @@ class DNBScheduler(SchedulerBase):
         self.ooo.on_wakeup(preg, cycle)
         self.energy["wakeup_cam"] += len(self.delay) + self.bypass_window
 
+    def on_op_ready(self, ifop: InFlightOp, cycle: int) -> None:
+        # bypass/delay queues are head-polled; the small OoO IQ keeps an
+        # incremental ready-set (non-resident ops are ignored there)
+        self.ooo.on_op_ready(ifop, cycle)
+
     # ------------------------------------------------------------------
     def flush_from(self, seq: int) -> None:
         while self.bypass and self.bypass[-1].seq >= seq:

@@ -100,6 +100,11 @@ class FXAScheduler(SchedulerBase):
     def on_wakeup(self, preg: int, cycle: int) -> None:
         self.backend.on_wakeup(preg, cycle)
 
+    def on_op_ready(self, ifop: InFlightOp, cycle: int) -> None:
+        # IXU ops are head-polled; only the back-end window tracks a
+        # ready-set (it ignores ops not resident in its slots)
+        self.backend.on_op_ready(ifop, cycle)
+
     # ------------------------------------------------------------------
     def flush_from(self, seq: int) -> None:
         self._ixu = deque(

@@ -28,6 +28,13 @@ class OutOfOrderScheduler(SchedulerBase):
         self._slots: List[Optional[InFlightOp]] = [None] * iq_size
         self._free: List[int] = list(range(iq_size - 1, -1, -1))
         self._count = 0
+        # Event-driven fast path: when the core provides a wakeup
+        # scoreboard (the real pipeline), ready entries are tracked
+        # incrementally and select never scans the whole window.  Unit
+        # tests drive schedulers with stripped-down fake cores that
+        # poll their own readiness — those keep the scanning path.
+        self._event_driven = getattr(core, "wakeup", None) is not None
+        self._ready_ops: List[InFlightOp] = []
 
     def can_accept(self, ifop: InFlightOp) -> bool:
         return self._count < self.iq_size
@@ -38,6 +45,15 @@ class OutOfOrderScheduler(SchedulerBase):
         ifop.iq_index = slot
         self._count += 1
         self.energy["iq_write"] += 1
+        if self._event_driven and self.core.op_ready(ifop, cycle):
+            self._ready_ops.append(ifop)
+
+    def on_op_ready(self, ifop: InFlightOp, cycle: int) -> None:
+        # only track ops currently resident in this window (the identity
+        # check also rejects stale iq_index values left by other queues)
+        index = ifop.iq_index
+        if 0 <= index < self.iq_size and self._slots[index] is ifop:
+            self._ready_ops.append(ifop)
 
     def select(self, cycle: int) -> List[InFlightOp]:
         core = self.core
@@ -45,21 +61,40 @@ class OutOfOrderScheduler(SchedulerBase):
             return []
         # every occupied entry feeds the per-port prefix-sum circuits
         self.energy["select_input"] += self._count
-        candidates = [op for op in self._slots if op is not None]
-        if self.oldest_first:
-            candidates.sort(key=lambda op: op.seq)
+        if self._event_driven:
+            # drop entries that issued or were flushed since they woke
+            candidates = [
+                op for op in self._ready_ops if self._slots[op.iq_index] is op
+            ]
+            # restore the prefix-sum examination order: slot position
+            # (or age under oldest-first) — identical to a full scan
+            candidates.sort(
+                key=(lambda op: op.seq) if self.oldest_first
+                else (lambda op: op.iq_index)
+            )
+        else:
+            candidates = [op for op in self._slots if op is not None]
+            if self.oldest_first:
+                candidates.sort(key=lambda op: op.seq)
         issued: List[InFlightOp] = []
+        leftover: List[InFlightOp] = []
         width = core.config.issue_width
-        for op in candidates:
+        for position, op in enumerate(candidates):
             if len(issued) >= width:
+                if self._event_driven:
+                    leftover.extend(candidates[position:])
                 break
             if not core.op_ready(op, cycle):
                 continue
             if not core.try_grant(op, cycle):
+                if self._event_driven:
+                    leftover.append(op)  # stays ready; retry next cycle
                 continue
             self._remove(op)
             self.energy["iq_read"] += 1
             issued.append(op)
+        if self._event_driven:
+            self._ready_ops = leftover
         return issued
 
     def _remove(self, ifop: InFlightOp) -> None:

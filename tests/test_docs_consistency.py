@@ -22,6 +22,7 @@ class TestDocFiles:
         "docs/energy_model.md",
         "docs/api.md",
         "docs/observability.md",
+        "docs/performance.md",
     ])
     def test_exists_and_nonempty(self, path):
         file = REPO / path

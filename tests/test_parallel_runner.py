@@ -1,0 +1,156 @@
+"""Parallel execution must be byte-identical to serial, and the caches
+(result + trace) must survive corruption and concurrent writers."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.sweep import sweep
+from repro.core.config import config_for
+from repro.workloads import suite as suite_mod
+from repro.workloads.suite import get_trace
+
+WORKLOADS = ("stream_triad", "pointer_chase", "histogram")
+ARCHES = ("ooo", "ballerino", "ces")
+OPS = 1500
+
+
+def _runner(tmp_path, sub, **kw):
+    return ExperimentRunner(
+        target_ops=OPS, cache_dir=str(tmp_path / sub), **kw
+    )
+
+
+def _dumps(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def test_run_many_parallel_matches_serial(tmp_path):
+    tasks = [(w, config_for(a)) for w in WORKLOADS for a in ARCHES]
+    serial = _runner(tmp_path, "serial").run_many(tasks, jobs=1)
+    parallel = _runner(tmp_path, "parallel").run_many(tasks, jobs=4)
+    assert [_dumps(r) for r in serial] == [_dumps(r) for r in parallel]
+
+
+def test_run_many_dedupes_and_orders(tmp_path):
+    runner = _runner(tmp_path, "dedupe")
+    config = config_for("ooo")
+    results = runner.run_many(
+        [("histogram", config), ("stream_triad", config),
+         ("histogram", config)],
+        jobs=1,
+    )
+    assert runner.simulations_run == 2  # duplicate simulated once
+    assert _dumps(results[0]) == _dumps(results[2])
+    assert _dumps(results[0]) != _dumps(results[1])
+
+
+def test_run_many_serves_from_cache(tmp_path):
+    tasks = [(w, config_for("ballerino")) for w in WORKLOADS]
+    first = _runner(tmp_path, "shared")
+    first.run_many(tasks, jobs=2)
+    second = _runner(tmp_path, "shared")
+    second.run_many(tasks, jobs=2)
+    assert second.simulations_run == 0
+    assert second.cache_hits == len(tasks)
+
+
+def test_suite_and_speedup_helpers_parallel_parity(tmp_path):
+    config, base = config_for("ballerino"), config_for("inorder")
+    serial = _runner(tmp_path, "s")
+    parallel = _runner(tmp_path, "p", jobs=3)
+    assert {
+        name: _dumps(r)
+        for name, r in serial.suite_results(config, WORKLOADS).items()
+    } == {
+        name: _dumps(r)
+        for name, r in parallel.suite_results(config, WORKLOADS).items()
+    }
+    assert serial.speedups_over(config, base, WORKLOADS) == pytest.approx(
+        parallel.speedups_over(config, base, WORKLOADS)
+    )
+
+
+def test_run_seeds_parallel(tmp_path):
+    config = config_for("ooo")
+    serial = _runner(tmp_path, "s").run_seeds("histogram", config, (1, 2, 3))
+    parallel = _runner(tmp_path, "p").run_seeds(
+        "histogram", config, (1, 2, 3), jobs=3
+    )
+    assert [_dumps(r) for r in serial] == [_dumps(r) for r in parallel]
+    assert len({_dumps(r) for r in serial}) == 3  # seeds actually differ
+
+
+def test_sweep_jobs_parity(tmp_path):
+    axes = {"arch": ["ooo", "ballerino"]}
+    serial = sweep(axes, workloads=("histogram",),
+                   runner=_runner(tmp_path, "s"))
+    parallel = sweep(axes, workloads=("histogram",),
+                     runner=_runner(tmp_path, "p"), jobs=2)
+    assert [(p.params, p.workload, _dumps(p.result)) for p in serial.points] \
+        == [(p.params, p.workload, _dumps(p.result)) for p in parallel.points]
+
+
+def test_corrupt_cache_entry_is_rerun(tmp_path):
+    runner = _runner(tmp_path, "corrupt")
+    config = config_for("ooo")
+    good = runner.run("histogram", config)
+    entry = next(runner.cache_dir.glob("*.json"))
+    entry.write_text('{"truncated')
+    fresh = _runner(tmp_path, "corrupt")
+    again = fresh.run("histogram", config)
+    assert fresh.simulations_run == 1  # corrupt entry discarded, re-run
+    assert _dumps(again) == _dumps(good)
+    # the re-run repaired the disk entry
+    assert json.loads(entry.read_text())
+
+
+def test_no_leftover_tmp_files(tmp_path):
+    runner = _runner(tmp_path, "atomic")
+    runner.run_many(
+        [(w, config_for("ooo")) for w in WORKLOADS], jobs=2
+    )
+    assert not list(runner.cache_dir.glob("*.tmp"))
+
+
+# ---------------------------------------------------------------------------
+# trace disk cache
+
+
+@pytest.fixture
+def trace_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    get_trace.cache_clear()
+    yield tmp_path / "traces"
+    get_trace.cache_clear()
+
+
+def test_trace_cache_roundtrip(trace_cache):
+    built = get_trace("histogram", OPS, 7)
+    files = list(trace_cache.glob("*.trace"))
+    assert len(files) == 1
+    get_trace.cache_clear()
+    loaded = get_trace("histogram", OPS, 7)  # now served from disk
+    assert len(loaded) == len(built)
+    assert all(a == b for a, b in zip(built, loaded))
+
+
+def test_trace_cache_corrupt_entry_rebuilt(trace_cache):
+    built = get_trace("histogram", OPS, 7)
+    entry = next(trace_cache.glob("*.trace"))
+    entry.write_text("not a trace")
+    get_trace.cache_clear()
+    rebuilt = get_trace("histogram", OPS, 7)
+    assert len(rebuilt) == len(built)
+    assert all(a == b for a, b in zip(built, rebuilt))
+
+
+def test_trace_cache_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "")
+    get_trace.cache_clear()
+    assert suite_mod._trace_cache_dir() is None
+    trace = get_trace("histogram", OPS, 7)
+    assert len(trace) == OPS
+    get_trace.cache_clear()
