@@ -11,6 +11,10 @@ Commands:
 * ``trace WORKLOAD ARCH --trace-out F`` — cycle-level pipeline trace:
   writes a Chrome trace-event JSON (or Konata log) and prints the
   stall-attribution and occupancy breakdowns (see docs/observability.md).
+* ``fuzz`` — differential fuzzing across the scheduler zoo with
+  per-cycle invariants and ddmin-shrunken repros (docs/correctness.md);
+  the global ``--ops`` caps each generated program's dynamic length and
+  ``--seed`` seeds the campaign.
 
 All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` /
 ``--jobs`` and use the shared ``.bench_cache`` result cache
@@ -101,6 +105,31 @@ def _make_parser() -> argparse.ArgumentParser:
 
     char = sub.add_parser("characterize",
                           help="dataflow-limit analysis of the suite")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across the scheduler zoo "
+             "(see docs/correctness.md)")
+    fuzz.add_argument("--programs", type=int, default=200,
+                      help="number of generated programs (default 200)")
+    fuzz.add_argument("--arches", nargs="*", default=list(FIG11_ARCHES),
+                      metavar="ARCH",
+                      help="configs to differential-test "
+                           "(default: the Figure 11 set)")
+    fuzz.add_argument("--out", default=None, metavar="FILE",
+                      help="write the full failure report (shrunken "
+                           "repros included) to this file")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip ddmin minimisation of failures")
+    fuzz.add_argument("--no-invariants", action="store_true",
+                      help="disable the per-cycle invariant checker "
+                           "(differential checks only; much faster)")
+    # accept the global knobs after the subcommand too
+    # (`repro fuzz --seed 0`); SUPPRESS keeps a pre-subcommand value
+    fuzz.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                      help="campaign seed (default 7)")
+    fuzz.add_argument("--ops", type=int, default=argparse.SUPPRESS,
+                      help="dynamic op cap per generated program")
     return parser
 
 
@@ -392,6 +421,34 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .verify.fuzz import run_fuzz
+
+    for arch in args.arches:
+        if arch not in _ALL_ARCHES:
+            print(f"unknown arch: {arch}", file=sys.stderr)
+            return 2
+    report = run_fuzz(
+        programs=args.programs,
+        seed=args.seed,
+        arches=args.arches,
+        width=args.width,
+        check_invariants=not args.no_invariants,
+        shrink=not args.no_shrink,
+        max_ops=args.ops,
+        progress=print,
+    )
+    print(report.summary())
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).resolve().parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(report.full_report() + "\n")
+        print(f"wrote failure report: {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "configs": _cmd_configs,
@@ -402,6 +459,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,
+    "fuzz": _cmd_fuzz,
 }
 
 

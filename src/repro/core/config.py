@@ -69,6 +69,9 @@ class CoreConfig:
     fetch_latency: int = 3  # fetch+decode pipeline depth
     rename_latency: int = 2  # two-stage pipelined renaming (paper SIV-B)
     mdp_enabled: bool = True
+    #: Run the per-cycle invariant checker (repro.verify.invariants).
+    #: Debug/fuzzing aid — slows simulation down considerably.
+    check_invariants: bool = False
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 
 

@@ -85,6 +85,7 @@ class Pipeline:
         config: CoreConfig,
         scheduler_factory: Optional[Callable[["Pipeline"], object]] = None,
         check_invariants: bool = False,
+        record_commits: bool = False,
         tracer: Optional[Tracer] = None,
         attribution: Optional[StallAttribution] = None,
     ):
@@ -122,7 +123,11 @@ class Pipeline:
         self._store_issued: Dict[int, int] = {}  # store seq -> issue cycle
         self._taint: Dict[int, int] = {}  # preg -> tainting load seq
 
-        self.check_invariants = check_invariants
+        self.check_invariants = check_invariants or config.check_invariants
+        #: committed DynOps in commit order (the differential oracle's
+        #: observable); populated only when record_commits is set.
+        self.record_commits = record_commits
+        self.commit_log: List = []
 
         if scheduler_factory is None:
             from ..sched import create_scheduler
@@ -248,6 +253,12 @@ class Pipeline:
                 f"seq {op.seq}: mdp_waiting={op.mdp_waiting} disagrees "
                 f"with polled MDP dependence state"
             )
+        # cross-structure checks (steering liveness, LFST/LSQ agreement,
+        # per-scheduler window shape) live in repro.verify.invariants;
+        # imported lazily to keep core free of a verify dependency.
+        from ..verify.invariants import check_pipeline
+
+        check_pipeline(self)
 
     # ==================================================================
     # commit
@@ -276,6 +287,8 @@ class Pipeline:
             self.energy["rob_commit"] += 1
             self._store_issued.pop(seq, None)
             self.inflight.pop(seq, None)
+            if self.record_commits:
+                self.commit_log.append(ifop.op)
             self.commit_count += 1
             self.stats.committed += 1
 
@@ -632,11 +645,15 @@ class Pipeline:
                 self.ports.unassign(ifop.port)
             self.energy["rat_recover"] += 1
             self.inflight.pop(ifop.seq, None)
-        # 3) scheduler and LSQ
+        # 3) scheduler, LSQ, and MDP.  The MDP sweep covers both squashed
+        #    stores (their LFST entries die, whatever their pc) and the
+        #    stale-reservation case: an MDA-steered load squashed while
+        #    its producer store survives must release the Reserved bit,
+        #    or the re-fetched load is denied its own steering hint.
         self.scheduler.flush_from(from_seq)
-        for store_seq, store_pc in self.lsu.flush_from(from_seq):
-            if self.mdp is not None:
-                self.mdp.flush_store(store_pc, store_seq)
+        self.lsu.flush_from(from_seq)
+        if self.mdp is not None:
+            self.mdp.flush_from(from_seq)
         self._store_issued = {
             seq: cyc for seq, cyc in self._store_issued.items() if seq < from_seq
         }

@@ -32,6 +32,7 @@ class LFSTEntry:
     iq_index: Optional[int] = None
     partition: int = 0
     reserved: bool = False
+    reserved_by: int = -1  # seq of the consumer load holding the reservation
 
 
 class StoreSetPredictor:
@@ -136,6 +137,32 @@ class StoreSetPredictor:
             entry.iq_index = iq_index
             entry.partition = partition
             entry.reserved = False
+            entry.reserved_by = -1
+
+    def reserve_steering(self, pc: int, load_seq: int) -> None:
+        """A consumer load was steered behind the set's producer store.
+
+        The reservation records *which* load took the P-IQ tail slot so a
+        squash of that load (without the store) can release it again.
+        """
+        ssid = self.ssid_of(pc)
+        if ssid is None:
+            return
+        entry = self._lfst.get(ssid)
+        if entry is not None and entry.valid and entry.iq_index is not None:
+            entry.reserved = True
+            entry.reserved_by = load_seq
+
+    def remap_steering(self, iq_index: int, remap: Dict[int, int]) -> None:
+        """A shared P-IQ collapsed: chain partitions moved (paper §IV-D).
+
+        Any LFST entry whose producer store sits in ``iq_index`` must track
+        the partition move, or a later consumer load would be steered
+        against a stale partition index.
+        """
+        for entry in self._lfst.values():
+            if entry.valid and entry.iq_index == iq_index:
+                entry.partition = remap.get(entry.partition, entry.partition)
 
     def steering_hint(self, pc: int) -> Optional[LFSTEntry]:
         """Steering location of the producer store for a dispatching load.
@@ -160,16 +187,74 @@ class StoreSetPredictor:
     # release / recovery
     # ------------------------------------------------------------------
     def store_issued(self, pc: int, seq: int) -> None:
-        """The set's last store issued: release the LFST entry."""
-        ssid = self.ssid_of(pc)
-        if ssid is None:
-            return
-        entry = self._lfst.get(ssid)
-        if entry is not None and entry.valid and entry.store_seq == seq:
-            entry.valid = False
-            entry.iq_index = None
-            entry.reserved = False
+        """The set's last store issued: release the LFST entry.
+
+        Matched by seq over *all* sets, not only the pc's current SSID:
+        a violation trained between this store's dispatch and its issue
+        can reassign the pc's SSID (the merge rule), which would orphan
+        the entry under the old set id — leaving a "last fetched store"
+        that already left the window, imposing false dependences on
+        every later load of the old set.
+        """
+        for entry in self._lfst.values():
+            if entry.valid and entry.store_seq == seq:
+                entry.valid = False
+                entry.iq_index = None
+                entry.reserved = False
+                entry.reserved_by = -1
+                return
 
     def flush_store(self, pc: int, seq: int) -> None:
         """A squashed store clears its LFST entry if it made the last update."""
         self.store_issued(pc, seq)
+
+    # ------------------------------------------------------------------
+    # debug invariants (repro.verify)
+    # ------------------------------------------------------------------
+    def debug_check(self, inflight: Dict[int, object]) -> None:
+        """Every valid LFST entry must reference a live, un-issued store.
+
+        ``inflight`` is the pipeline's seq -> InFlightOp map.  Raises
+        ``AssertionError`` when an entry outlives its store (the
+        stale-reservation / stale-entry bug family).
+        """
+        for ssid, entry in self._lfst.items():
+            if not entry.valid:
+                assert not entry.reserved, (
+                    f"LFST[{ssid}]: reserved bit set on an invalid entry"
+                )
+                continue
+            op = inflight.get(entry.store_seq)
+            assert op is not None, (
+                f"LFST[{ssid}]: store seq {entry.store_seq} not in flight"
+            )
+            assert op.is_store, f"LFST[{ssid}]: seq {entry.store_seq} not a store"
+            assert not op.issued, (
+                f"LFST[{ssid}]: store seq {entry.store_seq} already issued"
+            )
+            if entry.reserved:
+                assert entry.iq_index is not None, (
+                    f"LFST[{ssid}]: reserved without a steering location"
+                )
+
+    def flush_from(self, seq: int) -> None:
+        """Squash recovery: drop every LFST reference to a seq >= ``seq``.
+
+        Two cases per entry:
+
+        * the producer store itself was squashed — invalidate the entry
+          (covers stores whatever their pc, unlike :meth:`flush_store`);
+        * only the *reserving consumer load* was squashed — release the
+          Reserved bit so the re-fetched load can reclaim its own
+          steering hint (the stale-reservation bug: ``reserved`` used to
+          survive the load's squash and permanently deny the hint).
+        """
+        for entry in self._lfst.values():
+            if entry.valid and entry.store_seq >= seq:
+                entry.valid = False
+                entry.iq_index = None
+                entry.reserved = False
+                entry.reserved_by = -1
+            elif entry.reserved and entry.reserved_by >= seq:
+                entry.reserved = False
+                entry.reserved_by = -1

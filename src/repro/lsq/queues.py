@@ -170,3 +170,23 @@ class LoadStoreUnit:
         self._loads = {k: v for k, v in self._loads.items() if k < seq}
         self._stores = {k: v for k, v in self._stores.items() if k < seq}
         return flushed_stores
+
+    # ------------------------------------------------------------------
+    # debug invariants (repro.verify)
+    # ------------------------------------------------------------------
+    def debug_check(self, rob_loads: set, rob_stores: set) -> None:
+        """LSQ/ROB agreement: the queues hold exactly the ROB's memory ops.
+
+        Raises ``AssertionError`` on a leaked or lost entry — the symptom
+        of a flush path and an allocate path disagreeing about a squash.
+        """
+        assert set(self._loads) == rob_loads, (
+            f"LQ/ROB disagree: lq-only={sorted(set(self._loads) - rob_loads)} "
+            f"rob-only={sorted(rob_loads - set(self._loads))}"
+        )
+        assert set(self._stores) == rob_stores, (
+            f"SQ/ROB disagree: sq-only={sorted(set(self._stores) - rob_stores)} "
+            f"rob-only={sorted(rob_stores - set(self._stores))}"
+        )
+        assert len(self._loads) <= self.lq_size, "LQ overflow"
+        assert len(self._stores) <= self.sq_size, "SQ overflow"

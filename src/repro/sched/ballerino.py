@@ -159,11 +159,11 @@ class BallerinoScheduler(SchedulerBase):
         self.energy["iq_write"] += 1
         self.energy["steer"] += 1
         if decision.followed_preg is not None:
-            self.steer.reserve(decision.followed_preg)
+            self.steer.reserve(decision.followed_preg, ifop.seq)
         if decision.outcome == "mda" and self.core.mdp is not None:
-            hint = self.core.mdp.steering_hint(ifop.op.pc)
-            if hint is not None:
-                hint.reserved = True
+            # record *which* load reserved the hint so a squash of the
+            # load alone releases the reservation (see mdp.flush_from)
+            self.core.mdp.reserve_steering(ifop.op.pc, ifop.seq)
         if ifop.dest_preg is not None:
             self.steer.set(
                 ifop.dest_preg,
@@ -183,7 +183,7 @@ class BallerinoScheduler(SchedulerBase):
         issued: List[InFlightOp] = []
         core = self.core
         # phase 1: P-IQ heads (upper prefix-sum inputs -> higher priority)
-        for piq in self.piqs:
+        for index, piq in enumerate(self.piqs):
             if piq.empty:
                 self.head_states["empty"] += 1
                 continue
@@ -206,7 +206,18 @@ class BallerinoScheduler(SchedulerBase):
                 self.issued_piq += 1
                 issued.append(head)
                 issued_partition = partition
-            piq.collapse_idle()
+            remap = piq.collapse_idle()
+            if remap is not None:
+                # a partition drained and the queue collapsed: translate
+                # every index captured before the collapse — the steering
+                # scoreboard, the LFST hints, and the partition we issued
+                # from (handing end_cycle the pre-collapse index would
+                # leave `active` pointing at a chain that moved)
+                self._apply_remap(index, remap)
+                if issued_partition is not None:
+                    issued_partition = remap.get(
+                        issued_partition, issued_partition
+                    )
             piq.end_cycle(issued_partition)
         # phase 2: the S-IQ's speculative scheduling window.  Ready ops in
         # the window issue immediately; non-ready ops *preceding* the last
@@ -262,13 +273,34 @@ class BallerinoScheduler(SchedulerBase):
         # completions are observed only by the P-IQ heads + S-IQ window
         self.energy["wakeup_cam"] += self.num_piqs + self.siq_window
 
+    def _apply_remap(self, iq_index: int, remap: Dict[int, int]) -> None:
+        """Propagate a P-IQ partition collapse to all location records."""
+        self.steer.remap_partition(iq_index, remap)
+        if self.mda and self.core.mdp is not None:
+            self.core.mdp.remap_steering(iq_index, remap)
+
     # ------------------------------------------------------------------
     def flush_from(self, seq: int) -> None:
         while self.siq and self.siq[-1].seq >= seq:
             self.siq.pop()
-        for piq in self.piqs:
-            piq.flush_from(seq)
+        for index, piq in enumerate(self.piqs):
+            remap = piq.flush_from(seq)
+            if remap is not None:
+                self._apply_remap(index, remap)
         self.steer.flush_from(seq)
+
+    def check_invariants(self) -> None:
+        assert len(self.siq) <= self.siq_size, "S-IQ overflow"
+        seqs = [op.seq for op in self.siq]
+        assert seqs == sorted(seqs), f"S-IQ out of program order: {seqs}"
+        for index, piq in enumerate(self.piqs):
+            piq.debug_check()
+            for queue in piq.partitions:
+                for op in queue:
+                    assert op.iq_index == index, (
+                        f"op {op.seq} records P-IQ {op.iq_index}, "
+                        f"lives in {index}"
+                    )
 
     def occupancy(self) -> int:
         return len(self.siq) + sum(piq.occupancy() for piq in self.piqs)

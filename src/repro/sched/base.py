@@ -90,6 +90,16 @@ class SchedulerBase:
     def flush_from(self, seq: int) -> None:
         raise NotImplementedError
 
+    # -- debug invariants (repro.verify) -------------------------------
+    def check_invariants(self) -> None:
+        """Assert window-shape invariants (FIFO order, capacity, ...).
+
+        Called once per cycle by :func:`repro.verify.invariants.
+        check_pipeline` when the pipeline runs with ``check_invariants``
+        set.  The default is a no-op; window implementations override it
+        with structure-specific assertions.
+        """
+
     # -- reporting -----------------------------------------------------
     def occupancy(self) -> int:
         raise NotImplementedError

@@ -140,6 +140,28 @@ class CasinoScheduler(SchedulerBase):
             while queue and queue[-1].seq >= seq:
                 queue.pop()
 
+    def check_invariants(self) -> None:
+        # walking oldest (last) queue -> youngest: every queue is FIFO in
+        # program order AND strictly younger than everything downstream,
+        # or the pass logic let a younger op overtake an older one
+        newest_downstream = -1
+        for qi in range(len(self.queues) - 1, -1, -1):
+            seqs = [op.seq for op in self.queues[qi]]
+            assert len(seqs) <= self.queue_sizes[qi], f"queue {qi} overflow"
+            assert seqs == sorted(seqs), (
+                f"queue {qi} out of program order: {seqs}"
+            )
+            for op in self.queues[qi]:
+                assert op.iq_index == qi, (
+                    f"op {op.seq} records queue {op.iq_index}, lives in {qi}"
+                )
+            if seqs:
+                assert seqs[0] > newest_downstream, (
+                    f"queue {qi} holds op {seqs[0]} older than op "
+                    f"{newest_downstream} already passed downstream"
+                )
+                newest_downstream = seqs[-1]
+
     def occupancy(self) -> int:
         return sum(len(q) for q in self.queues)
 

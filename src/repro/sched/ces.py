@@ -123,11 +123,11 @@ class CESScheduler(SchedulerBase):
         self.trace_steer(ifop, f"{decision.outcome}->piq{target}")
         self.energy["iq_write"] += 1
         if decision.followed_preg is not None:
-            self.steer.reserve(decision.followed_preg)
+            self.steer.reserve(decision.followed_preg, ifop.seq)
         if decision.outcome == "mda" and self.core.mdp is not None:
-            hint = self.core.mdp.steering_hint(ifop.op.pc)
-            if hint is not None:
-                hint.reserved = True
+            # attribute the reservation to this load so a squash of the
+            # load alone releases it (see StoreSetPredictor.flush_from)
+            self.core.mdp.reserve_steering(ifop.op.pc, ifop.seq)
         if ifop.dest_preg is not None:
             self.steer.set(
                 ifop.dest_preg,
@@ -175,6 +175,18 @@ class CESScheduler(SchedulerBase):
             while queue and queue[-1].seq >= seq:
                 queue.pop()
         self.steer.flush_from(seq)
+
+    def check_invariants(self) -> None:
+        for index, queue in enumerate(self.piqs):
+            assert len(queue) <= self.piq_size, f"P-IQ {index} overflow"
+            seqs = [op.seq for op in queue]
+            assert seqs == sorted(seqs), (
+                f"P-IQ {index} out of program order: {seqs}"
+            )
+            for op in queue:
+                assert op.iq_index == index, (
+                    f"op {op.seq} records P-IQ {op.iq_index}, lives in {index}"
+                )
 
     def occupancy(self) -> int:
         return sum(len(q) for q in self.piqs)

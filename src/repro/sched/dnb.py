@@ -123,7 +123,7 @@ class DNBScheduler(SchedulerBase):
             self.energy["iq_write"] += 1
             self.energy["steer"] += 1
             if followed is not None:
-                self.steer.reserve(followed)
+                self.steer.reserve(followed, ifop.seq)
             if ifop.dest_preg is not None:
                 self.steer.set(
                     ifop.dest_preg, SteerInfo(iq=index, owner_seq=ifop.seq)
@@ -186,6 +186,25 @@ class DNBScheduler(SchedulerBase):
                 queue.pop()
         self.ooo.flush_from(seq)
         self.steer.flush_from(seq)
+
+    def check_invariants(self) -> None:
+        assert len(self.bypass) <= self.bypass_size, "bypass queue overflow"
+        seqs = [op.seq for op in self.bypass]
+        assert seqs == sorted(seqs), f"bypass out of program order: {seqs}"
+        for index, queue in enumerate(self.delay):
+            assert len(queue) <= self.delay_queue_size, (
+                f"delay queue {index} overflow"
+            )
+            qseqs = [op.seq for op in queue]
+            assert qseqs == sorted(qseqs), (
+                f"delay queue {index} out of program order: {qseqs}"
+            )
+            for op in queue:
+                assert op.iq_index == index, (
+                    f"op {op.seq} records delay queue {op.iq_index}, "
+                    f"lives in {index}"
+                )
+        self.ooo.check_invariants()
 
     def occupancy(self) -> int:
         return (

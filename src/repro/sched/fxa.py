@@ -112,6 +112,14 @@ class FXAScheduler(SchedulerBase):
         )
         self.backend.flush_from(seq)
 
+    def check_invariants(self) -> None:
+        seqs = [op.seq for _, op in self._ixu]
+        assert seqs == sorted(seqs), f"IXU out of program order: {seqs}"
+        assert (
+            len(self._ixu) <= self.ixu_depth * self.core.config.decode_width
+        ), "IXU overflow"
+        self.backend.check_invariants()
+
     def occupancy(self) -> int:
         return len(self._ixu) + self.backend.occupancy()
 

@@ -51,5 +51,10 @@ class InOrderScheduler(SchedulerBase):
         while self._queue and self._queue[-1].seq >= seq:
             self._queue.pop()
 
+    def check_invariants(self) -> None:
+        assert len(self._queue) <= self.iq_size, "in-order IQ overflow"
+        seqs = [op.seq for op in self._queue]
+        assert seqs == sorted(seqs), f"in-order IQ out of program order: {seqs}"
+
     def occupancy(self) -> int:
         return len(self._queue)

@@ -114,5 +114,18 @@ class OutOfOrderScheduler(SchedulerBase):
                 self._free.append(slot)
                 self._count -= 1
 
+    def check_invariants(self) -> None:
+        occupied = [s for s, op in enumerate(self._slots) if op is not None]
+        assert len(occupied) == self._count, (
+            f"slot count drifted: {len(occupied)} occupied, _count={self._count}"
+        )
+        assert len(set(self._free)) == len(self._free), "free-list duplicate"
+        assert self._count + len(self._free) == self.iq_size, "free-list leak"
+        for slot in occupied:
+            assert self._slots[slot].iq_index == slot, (
+                f"op {self._slots[slot].seq} records slot "
+                f"{self._slots[slot].iq_index}, lives in {slot}"
+            )
+
     def occupancy(self) -> int:
         return self._count

@@ -27,7 +27,7 @@ any pointer position and both heads may issue in one cycle), matching the
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..core.ifop import InFlightOp
 
@@ -62,8 +62,13 @@ class SharedPIQ:
     def has_space(self, partition: int) -> bool:
         if partition >= len(self.partitions):
             return False
-        if self.sharing:
+        if self.sharing and not self.ideal:
             return len(self.partitions[partition]) < self.size // 2
+        # normal mode — and ideal sharing, where the equal-halves
+        # constraint is lifted but the queue's total capacity still
+        # holds (ideal sharing may start with >size/2 entries resident,
+        # so a per-partition half cap would both overflow the queue and
+        # wedge the resident chain's partition)
         return self.occupancy() < self.size
 
     def shareable(self) -> bool:
@@ -83,15 +88,28 @@ class SharedPIQ:
         self.share_activations += 1
         return 1
 
-    def _maybe_collapse(self) -> None:
-        """Drop back to normal mode once a partition drains."""
+    def _maybe_collapse(self) -> Optional[Dict[int, int]]:
+        """Drop back to normal mode once a partition drains.
+
+        Returns the partition-index remap applied (``{1: 0}`` when the
+        surviving chain moved from partition 1 to partition 0), or
+        ``None`` when nothing changed.  Callers holding partition indices
+        captured *before* the collapse — the steering scoreboard, LFST
+        steering hints, and the select loop's issued-partition record —
+        must translate them through this remap or they dangle.
+        """
         if self.sharing:
             if not self.partitions[1]:
                 self.partitions.pop()
                 self.active = 0
-            elif not self.partitions[0]:
+                return {1: 0}  # partition 1 ceased to exist
+            if not self.partitions[0]:
                 self.partitions[0] = self.partitions.pop()
                 self.active = 0
+                for op in self.partitions[0]:
+                    op.iq_partition = 0
+                return {1: 0}
+        return None
 
     # ------------------------------------------------------------------
     # FIFO operations
@@ -136,20 +154,35 @@ class SharedPIQ:
             self._maybe_collapse()
         return ifop
 
-    def collapse_idle(self) -> None:
-        """Public deferred-collapse hook (see :meth:`pop_head`)."""
-        self._maybe_collapse()
+    def collapse_idle(self) -> Optional[Dict[int, int]]:
+        """Public deferred-collapse hook (see :meth:`pop_head`).
+
+        Returns the partition remap (see :meth:`_maybe_collapse`) so the
+        caller can fix up any partition indices captured pre-collapse.
+        """
+        return self._maybe_collapse()
 
     def end_cycle(self, issued_partition: Optional[int]) -> None:
         """Head-pointer selection for the next cycle (paper §IV-D).
 
         Keep the current head after a successful issue (back-to-back);
         otherwise hand the single read port to the other chain.
+
+        ``issued_partition`` must be a *current* partition index: a caller
+        that popped heads before :meth:`collapse_idle` ran has to translate
+        the index it recorded through the returned remap first, or
+        ``active`` would be pointed at a partition that no longer holds
+        the issued chain.
         """
         if not self.sharing or self.ideal:
             self.active = 0
             return
         if issued_partition is not None:
+            if issued_partition >= len(self.partitions):
+                raise RuntimeError(
+                    f"end_cycle handed stale partition {issued_partition} "
+                    f"(queue has {len(self.partitions)})"
+                )
             self.active = issued_partition
         else:
             other = 1 - self.active
@@ -157,11 +190,44 @@ class SharedPIQ:
                 self.active = other
 
     # ------------------------------------------------------------------
-    def flush_from(self, seq: int) -> None:
+    def flush_from(self, seq: int) -> Optional[Dict[int, int]]:
+        """Squash every entry with ``seq >=`` the flush point.
+
+        Returns the partition remap if the flush drained a partition and
+        collapsed the queue (same contract as :meth:`collapse_idle`).
+        """
         for queue in self.partitions:
             while queue and queue[-1].seq >= seq:
                 queue.pop()
-        self._maybe_collapse()
+        return self._maybe_collapse()
+
+    def debug_check(self) -> None:
+        """Structural invariants (used by the verify subsystem).
+
+        Raises ``AssertionError`` when the queue violates its own FIFO,
+        capacity, or head-pointer contracts.
+        """
+        assert 1 <= len(self.partitions) <= 2, "partition count out of range"
+        assert 0 <= self.active < len(self.partitions), (
+            f"active partition {self.active} dangles "
+            f"({len(self.partitions)} partitions)"
+        )
+        cap = self.partition_capacity() if not self.ideal else self.size
+        for index, queue in enumerate(self.partitions):
+            seqs = [op.seq for op in queue]
+            assert seqs == sorted(seqs), (
+                f"partition {index} out of program order: {seqs}"
+            )
+            if self.sharing and not self.ideal:
+                assert len(queue) <= cap, (
+                    f"partition {index} over capacity: {len(queue)} > {cap}"
+                )
+            for op in queue:
+                assert op.iq_partition == index, (
+                    f"op {op.seq} records partition {op.iq_partition}, "
+                    f"lives in {index}"
+                )
+        assert self.occupancy() <= self.size, "P-IQ over total capacity"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = "/".join(str(len(p)) for p in self.partitions)

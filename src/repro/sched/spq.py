@@ -141,6 +141,18 @@ class SPQScheduler(SchedulerBase):
         # stale per-preg predictions are harmless (performance hints only)
         # and bounded by the physical register count.
 
+    def check_invariants(self) -> None:
+        for index, queue in enumerate(self.queues):
+            assert len(queue) <= self.queue_size, f"SPQ {index} overflow"
+            assert queue == sorted(queue), (
+                f"SPQ {index} lost its predicted-issue ordering"
+            )
+            for _, seq, op in queue:
+                assert op.seq == seq, f"SPQ {index}: key/op seq mismatch"
+                assert op.iq_index == index, (
+                    f"op {seq} records SPQ {op.iq_index}, lives in {index}"
+                )
+
     def occupancy(self) -> int:
         return sum(len(q) for q in self.queues)
 

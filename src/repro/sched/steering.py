@@ -21,6 +21,7 @@ class SteerInfo:
     partition: int = 0
     reserved: bool = False
     owner_seq: int = -1  # producer's dynamic seq (for flush filtering)
+    reserved_by: int = -1  # consumer seq holding the reservation
 
 
 @dataclass
@@ -46,19 +47,43 @@ class SteeringScoreboard:
     def set(self, preg: int, info: SteerInfo) -> None:
         self._map[preg] = info
 
-    def reserve(self, preg: int) -> None:
+    def reserve(self, preg: int, by_seq: int = -1) -> None:
         info = self._map.get(preg)
         if info is not None:
             info.reserved = True
+            info.reserved_by = by_seq
 
     def clear(self, preg: Optional[int]) -> None:
         if preg is not None:
             self._map.pop(preg, None)
 
     def flush_from(self, seq: int) -> None:
-        self._map = {
-            preg: info for preg, info in self._map.items() if info.owner_seq < seq
-        }
+        """Drop every reference to a squashed op.
+
+        Entries whose *producer* was squashed disappear; entries whose
+        producer survives but whose *reserving consumer* was squashed get
+        their Reserved bit released (otherwise the re-fetched consumer
+        would be denied steering behind its own producer forever).
+        """
+        kept: Dict[int, SteerInfo] = {}
+        for preg, info in self._map.items():
+            if info.owner_seq >= seq:
+                continue
+            if info.reserved and info.reserved_by >= seq:
+                info.reserved = False
+                info.reserved_by = -1
+            kept[preg] = info
+        self._map = kept
+
+    def remap_partition(self, iq: int, remap: Dict[int, int]) -> None:
+        """A shared P-IQ collapsed: translate partition indices for ``iq``."""
+        for info in self._map.values():
+            if info.iq == iq:
+                info.partition = remap.get(info.partition, info.partition)
+
+    def items(self):
+        """Live (preg, SteerInfo) pairs — for invariant checkers."""
+        return self._map.items()
 
     def __len__(self) -> int:
         return len(self._map)

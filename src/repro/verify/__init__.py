@@ -1,0 +1,17 @@
+"""Correctness tooling: differential fuzzing and invariant checking.
+
+The subsystem has four parts (see docs/correctness.md):
+
+* :mod:`repro.verify.genprog` — seeded random micro-op program generator;
+* :mod:`repro.verify.oracle` — differential oracle comparing every
+  scheduler config against the functional executor;
+* :mod:`repro.verify.invariants` — per-cycle microarchitectural
+  invariant checks (enabled with ``CoreConfig.check_invariants``);
+* :mod:`repro.verify.shrink` — ddmin-style failure minimiser.
+
+``python -m repro fuzz`` drives all of them.
+"""
+
+from .invariants import InvariantViolation, check_pipeline
+
+__all__ = ["InvariantViolation", "check_pipeline"]

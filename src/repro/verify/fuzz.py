@@ -1,0 +1,156 @@
+"""Fuzzing orchestrator: generate, differential-check, shrink, report.
+
+One fuzz *campaign* runs ``programs`` seeded random programs (profile
+rotates per seed — see :data:`repro.verify.genprog.PROFILES`) through the
+differential oracle across a set of scheduler configs.  Every failure is
+minimised with ddmin and rendered as a paste-able repro: the shrunken
+``ProgramBuilder`` source plus the failing config and failure detail.
+
+Entry point: ``python -m repro fuzz`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.config import FIG11_ARCHES
+from ..workloads.executor import ExecutionLimitExceeded
+from .genprog import SpecItem, generate_spec, render_source
+from .oracle import DEFAULT_MAX_OPS, Failure, check_arch, run_reference, run_spec
+from .shrink import ddmin
+
+
+@dataclass
+class FuzzFinding:
+    """One failing program: the original, its failure, and the shrink."""
+
+    seed: int
+    failure: Failure
+    spec: List[SpecItem]
+    shrunken: List[SpecItem]
+
+    def report(self) -> str:
+        lines = [
+            f"seed {self.seed}: {self.failure}",
+            f"original {len(self.spec)} spec items, "
+            f"shrunken to {len(self.shrunken)}",
+            "",
+            "# --- minimized repro " + "-" * 40,
+            render_source(self.shrunken, name=f"fuzz_seed{self.seed}"),
+            "# repro: run `program` through "
+            f"repro.verify.oracle.check_arch(..., arch='{self.failure.arch}')",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Campaign summary."""
+
+    programs: int = 0
+    arches: Sequence[str] = FIG11_ARCHES
+    findings: List[FuzzFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        cells = self.programs * len(self.arches)
+        if self.ok:
+            return (
+                f"fuzz: {self.programs} programs x {len(self.arches)} "
+                f"configs = {cells} cells, all clean"
+            )
+        return (
+            f"fuzz: {len(self.findings)} failing program(s) out of "
+            f"{self.programs} ({cells} cells checked)"
+        )
+
+    def full_report(self) -> str:
+        parts = [self.summary()]
+        for finding in self.findings:
+            parts.append("")
+            parts.append(finding.report())
+        return "\n".join(parts)
+
+
+def _shrink_failure(
+    spec: List[SpecItem],
+    failure: Failure,
+    width: int,
+    check_invariants: bool,
+    max_ops: int,
+) -> List[SpecItem]:
+    """ddmin ``spec`` preserving the same (arch, kind) failure."""
+
+    def predicate(candidate: List[SpecItem]) -> bool:
+        try:
+            program, trace, regs, mem = run_reference(
+                candidate, max_ops=max_ops
+            )
+        except Exception:
+            # a broken variant — non-halting (ExecutionLimitExceeded) or
+            # otherwise unassemblable — is not a repro
+            return False
+        result = check_arch(
+            program, trace, regs, mem, failure.arch,
+            width=width, check_invariants=check_invariants,
+        )
+        return result is not None and result.kind == failure.kind
+
+    return ddmin(spec, predicate)
+
+
+def run_fuzz(
+    programs: int = 200,
+    seed: int = 0,
+    arches: Sequence[str] = FIG11_ARCHES,
+    width: int = 8,
+    check_invariants: bool = True,
+    shrink: bool = True,
+    max_ops: int = DEFAULT_MAX_OPS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one fuzz campaign; returns the (possibly failing) report."""
+    report = FuzzReport(programs=programs, arches=tuple(arches))
+    for index in range(programs):
+        program_seed = seed * 1_000_003 + index
+        spec = generate_spec(program_seed)
+        try:
+            failures = run_spec(
+                spec, arches=arches, width=width,
+                check_invariants=check_invariants, max_ops=max_ops,
+            )
+        except ExecutionLimitExceeded as exc:
+            # the generator's termination-by-construction contract broke
+            # (or the --ops cap is too small for this profile)
+            failures = [Failure(arch="-", kind="nonhalting",
+                                detail=str(exc))]
+        if failures:
+            failure = failures[0]
+            shrunken = (
+                _shrink_failure(
+                    spec, failure, width, check_invariants, max_ops
+                )
+                if shrink and failure.kind != "nonhalting"
+                else list(spec)
+            )
+            report.findings.append(
+                FuzzFinding(
+                    seed=program_seed, failure=failure,
+                    spec=list(spec), shrunken=shrunken,
+                )
+            )
+            if progress is not None:
+                progress(
+                    f"  FAIL seed {program_seed}: {failure} "
+                    f"(shrunk {len(spec)} -> {len(shrunken)} items)"
+                )
+        if progress is not None and (index + 1) % 25 == 0:
+            progress(
+                f"  {index + 1}/{programs} programs, "
+                f"{len(report.findings)} failure(s)"
+            )
+    return report

@@ -1,0 +1,377 @@
+"""Seeded random micro-op program generator for the differential fuzzer.
+
+Programs are built as a flat *spec* — a list of items, each either
+
+* ``("label", name)`` — a branch target, or
+* ``("instr", op, dest, srcs, imm, target)`` — one instruction in the
+  :class:`~repro.workloads.program.ProgramBuilder` encoding.
+
+The spec form (rather than an assembled :class:`Program`) is what the
+ddmin shrinker operates on: items can be deleted and the remainder
+re-assembled.  :func:`assemble` appends the terminating ``halt`` and
+resolves labels; :func:`render_source` prints a paste-able
+``ProgramBuilder`` reconstruction for bug reports.
+
+Termination is guaranteed by construction:
+
+* every backward branch is a *counted loop* — a reserved counter
+  register (``r24`` .. ``r31``, one per nesting level, never touched by
+  random body code) is loaded with the trip count, decremented once per
+  iteration, and tested with ``bne``;
+* every other branch is a forward skip over a bounded block.
+
+Memory traffic aims at a small window of "hot" word slots above a fixed
+base (``r23 = 4096``) so loads and stores alias frequently.  A tunable
+fraction of memory ops compute their address dynamically
+(``rem``/``shl``/``add`` from a live value) — those addresses are
+unknown until execute, which is what provokes memory-order violations,
+squashes, and MDP training, the paths the fuzzer most wants to stress.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.registers import F, R
+from ..workloads.program import Program, ProgramBuilder
+
+#: One spec item: ("label", name) | ("instr", op, dest, srcs, imm, target).
+SpecItem = Tuple
+
+#: Word size of the micro-op ISA (8-byte aligned accesses).
+WORD = 8
+
+#: Base address of the hot memory window.
+BASE_ADDR = 4096
+
+#: r23 holds BASE_ADDR; r22 holds the hot-slot count (for dynamic
+#: addressing); r21 holds a fixed modulus that every ``mul`` result is
+#: reduced by (a mul chain inside a loop would otherwise square its
+#: value each iteration — unbounded Python ints grind the functional
+#: executor to a halt); r24..r31 are loop counters.  Random body code
+#: only ever reads/writes r1..r20 and f0..f15.
+BASE_REG = R[23]
+MOD_REG = R[22]
+NORM_REG = R[21]
+NORM_MODULUS = 12289
+COUNTER_REGS = tuple(R[i] for i in range(24, 32))
+INT_POOL = tuple(R[i] for i in range(1, 21))
+FP_POOL = tuple(F[i] for i in range(0, 16))
+
+_ALU_OPS = ("add", "sub", "and", "or", "xor", "slt", "mul", "rem")
+_FP_OPS = ("fadd", "fsub", "fmul")
+_BRANCH_OPS = ("beq", "bne", "blt", "bge")
+
+
+@dataclass(frozen=True)
+class GenParams:
+    """Tunable shape knobs for one generated program."""
+
+    #: Approximate static instruction budget (bodies; preamble excluded).
+    size: int = 60
+    #: Fraction of body slots that become loads / stores.
+    load_frac: float = 0.20
+    store_frac: float = 0.15
+    #: Fraction of body slots that become forward conditional skips.
+    branch_frac: float = 0.08
+    #: Fraction of ALU slots using the FP pipeline.
+    fp_frac: float = 0.10
+    #: Counted-loop nesting depth (0 = straight line).
+    loop_depth: int = 2
+    #: Max trip count per loop level.
+    max_trip: int = 5
+    #: Number of aliased hot word slots.
+    hot_slots: int = 4
+    #: Fraction of memory ops with a dynamically computed address.
+    dyn_addr_frac: float = 0.35
+    #: Bias toward chaining: probability a source is the latest write.
+    chain_bias: float = 0.5
+
+
+#: Profiles the fuzzer rotates through (per the issue: tunable load/store
+#: density, branch depth, and dependence-chain shape).
+PROFILES: Tuple[Tuple[str, GenParams], ...] = (
+    ("mem_heavy", GenParams(load_frac=0.30, store_frac=0.25,
+                            dyn_addr_frac=0.55, hot_slots=3)),
+    ("branchy", GenParams(branch_frac=0.20, loop_depth=3, max_trip=4)),
+    ("long_chains", GenParams(chain_bias=0.9, load_frac=0.15,
+                              store_frac=0.10)),
+    ("wide_dag", GenParams(chain_bias=0.1, fp_frac=0.25)),
+    ("default", GenParams()),
+)
+
+
+class ProgramGen:
+    """Generates one program spec from a seed and a :class:`GenParams`."""
+
+    def __init__(self, seed: int, params: GenParams):
+        self.rng = random.Random(seed)
+        self.params = params
+        self.spec: List[SpecItem] = []
+        self._label_counter = 0
+        #: registers known to hold a value (sources are drawn from here)
+        self._live_int: List[int] = []
+        self._live_fp: List[int] = []
+        self._last_int: Optional[int] = None
+        self._last_fp: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, op: str, dest=None, srcs: Sequence[int] = (),
+              imm: int = 0, target: Optional[str] = None) -> None:
+        self.spec.append(("instr", op, dest, tuple(srcs), imm, target))
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}{self._label_counter}"
+
+    def _write_int(self, reg: int) -> None:
+        if reg not in self._live_int:
+            self._live_int.append(reg)
+        self._last_int = reg
+
+    def _write_fp(self, reg: int) -> None:
+        if reg not in self._live_fp:
+            self._live_fp.append(reg)
+        self._last_fp = reg
+
+    def _src_int(self) -> int:
+        if self._last_int is not None and self.rng.random() < self.params.chain_bias:
+            return self._last_int
+        return self.rng.choice(self._live_int)
+
+    def _src_fp(self) -> int:
+        if self._last_fp is not None and self.rng.random() < self.params.chain_bias:
+            return self._last_fp
+        return self.rng.choice(self._live_fp)
+
+    def _dest_int(self) -> int:
+        return self.rng.choice(INT_POOL)
+
+    def _dest_fp(self) -> int:
+        return self.rng.choice(FP_POOL)
+
+    # ------------------------------------------------------------------
+    def _preamble(self) -> None:
+        self._emit("li", BASE_REG, imm=BASE_ADDR)
+        self._emit("li", MOD_REG, imm=self.params.hot_slots)
+        self._emit("li", NORM_REG, imm=NORM_MODULUS)
+        for reg in INT_POOL[:6]:
+            self._emit("li", reg, imm=self.rng.randint(1, 64))
+            self._write_int(reg)
+        for reg in FP_POOL[:3]:
+            self._emit("li", reg, imm=self.rng.randint(1, 16))
+            self._write_fp(reg)
+        # seed the hot window so early loads read defined values
+        for slot in range(self.params.hot_slots):
+            self._emit("store", None, (self._src_int(), BASE_REG),
+                       imm=slot * WORD)
+
+    def _hot_offset(self) -> int:
+        return self.rng.randrange(self.params.hot_slots) * WORD
+
+    def _addr_reg(self) -> int:
+        """Emit address arithmetic; returns the register holding the
+        (dynamic, execute-time-only) address of a hot slot."""
+        tmp = self._dest_int()
+        self._emit("rem", tmp, (self._src_int(), MOD_REG))
+        self._emit("shl", tmp, (tmp,), imm=3)
+        self._emit("add", tmp, (tmp, BASE_REG))
+        self._write_int(tmp)
+        return tmp
+
+    def _gen_load(self) -> None:
+        dest = self._dest_int()
+        if self.rng.random() < self.params.dyn_addr_frac:
+            self._emit("load", dest, (self._addr_reg(),), imm=0)
+        else:
+            self._emit("load", dest, (BASE_REG,), imm=self._hot_offset())
+        self._write_int(dest)
+
+    def _gen_store(self) -> None:
+        value = self._src_int()
+        if self.rng.random() < self.params.dyn_addr_frac:
+            self._emit("store", None, (value, self._addr_reg()), imm=0)
+        else:
+            self._emit("store", None, (value, BASE_REG),
+                       imm=self._hot_offset())
+
+    def _gen_alu(self) -> None:
+        if self._live_fp and self.rng.random() < self.params.fp_frac:
+            dest = self._dest_fp()
+            self._emit(self.rng.choice(_FP_OPS), dest,
+                       (self._src_fp(), self._src_fp()))
+            self._write_fp(dest)
+            return
+        dest = self._dest_int()
+        if self.rng.random() < 0.3:
+            self._emit("addi", dest, (self._src_int(),),
+                       imm=self.rng.randint(-8, 8))
+        else:
+            op = self.rng.choice(_ALU_OPS)
+            self._emit(op, dest, (self._src_int(), self._src_int()))
+            if op == "mul":
+                # keep products bounded across loop iterations
+                self._emit("rem", dest, (dest, NORM_REG))
+        self._write_int(dest)
+
+    def _gen_skip(self, budget: int) -> int:
+        """A forward conditional branch over 1..3 body ops; returns the
+        number of budget slots consumed."""
+        label = self._label("skip")
+        self._emit(self.rng.choice(_BRANCH_OPS), None,
+                   (self._src_int(), self._src_int()), target=label)
+        inner = min(budget, self.rng.randint(1, 3))
+        for _ in range(inner):
+            self._gen_body_op(0)
+        self.spec.append(("label", label))
+        return inner + 1
+
+    def _gen_body_op(self, branch_budget: int) -> int:
+        roll = self.rng.random()
+        p = self.params
+        if roll < p.load_frac:
+            self._gen_load()
+            return 1
+        if roll < p.load_frac + p.store_frac:
+            self._gen_store()
+            return 1
+        if branch_budget > 0 and roll < p.load_frac + p.store_frac + p.branch_frac:
+            return self._gen_skip(branch_budget)
+        self._gen_alu()
+        return 1
+
+    def _gen_block(self, budget: int, depth: int) -> None:
+        """Emit ~``budget`` body instructions, possibly as a loop nest."""
+        if depth > 0 and budget >= 8:
+            # split: straight prefix, a counted loop, straight suffix
+            prefix = self.rng.randint(0, budget // 4)
+            suffix = self.rng.randint(0, budget // 4)
+            self._gen_straight(prefix)
+            counter = COUNTER_REGS[depth - 1]
+            trip = self.rng.randint(2, self.params.max_trip)
+            label = self._label("loop")
+            self._emit("li", counter, imm=trip)
+            self.spec.append(("label", label))
+            self._gen_block(budget - prefix - suffix - 2, depth - 1)
+            self._emit("addi", counter, (counter,), imm=-1)
+            self._emit("bne", None, (counter, R[0]), target=label)
+            self._gen_straight(suffix)
+        else:
+            self._gen_straight(budget)
+
+    def _gen_straight(self, budget: int) -> None:
+        while budget > 0:
+            budget -= self._gen_body_op(budget - 1)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> List[SpecItem]:
+        self._preamble()
+        self._gen_block(self.params.size, self.params.loop_depth)
+        return self.spec
+
+
+# ----------------------------------------------------------------------
+# spec -> Program / source text
+# ----------------------------------------------------------------------
+def assemble(spec: Sequence[SpecItem], name: str = "fuzz") -> Program:
+    """Assemble a spec (labels resolved, ``halt`` appended).
+
+    Branches whose label was removed by the shrinker fall back to a
+    label planted at the very end (before ``halt``), keeping every
+    shrunken variant well-formed.
+    """
+    builder = ProgramBuilder(name)
+    present = {item[1] for item in spec if item[0] == "label"}
+    used_labels = set()
+    for item in spec:
+        if item[0] == "label":
+            builder.label(item[1])
+        else:
+            _, op, dest, srcs, imm, target = item
+            if target is not None and target not in present:
+                target = "__end"
+            if target is not None:
+                used_labels.add(target)
+            builder._emit(op, dest, srcs, imm=imm, target=target)
+    if "__end" in used_labels:
+        builder.label("__end")
+    builder.halt()
+    return builder.build()
+
+
+def render_source(spec: Sequence[SpecItem], name: str = "repro") -> str:
+    """Render a paste-able ``ProgramBuilder`` reconstruction of a spec."""
+    from ..isa.registers import NUM_INT_REGS, reg_name
+
+    def fmt_reg(reg: int) -> str:
+        if reg < NUM_INT_REGS:
+            return f"R[{reg}]"
+        return f"F[{reg - NUM_INT_REGS}]"
+
+    lines = [
+        "from repro.isa.registers import F, R",
+        "from repro.workloads.program import ProgramBuilder",
+        "",
+        f"b = ProgramBuilder({name!r})",
+    ]
+    present = {item[1] for item in spec if item[0] == "label"}
+    needs_end = False
+    for item in spec:
+        if item[0] == "label":
+            lines.append(f"b.label({item[1]!r})")
+            continue
+        _, op, dest, srcs, imm, target = item
+        if target is not None:
+            if target not in present:
+                target = "__end"
+                needs_end = True
+            if op == "jmp":
+                lines.append(f"b.jmp({target!r})")
+            else:
+                lines.append(
+                    f"b.{op}({fmt_reg(srcs[0])}, {fmt_reg(srcs[1])}, "
+                    f"{target!r})"
+                )
+        elif op == "li":
+            lines.append(f"b.li({fmt_reg(dest)}, {imm})")
+        elif op in ("load", "fload"):
+            lines.append(
+                f"b.{op}({fmt_reg(dest)}, {fmt_reg(srcs[0])}, {imm})"
+            )
+        elif op in ("store", "fstore"):
+            lines.append(
+                f"b.{op}({fmt_reg(srcs[0])}, {fmt_reg(srcs[1])}, {imm})"
+            )
+        elif op in ("addi", "shl", "shr"):
+            lines.append(
+                f"b.{op}({fmt_reg(dest)}, {fmt_reg(srcs[0])}, {imm})"
+            )
+        elif op in ("mov", "fmov"):
+            lines.append(f"b.{op}({fmt_reg(dest)}, {fmt_reg(srcs[0])})")
+        elif op == "nop":
+            lines.append("b.nop()")
+        else:  # three-operand ALU (and/or are and_/or_ in the builder)
+            method = {"and": "and_", "or": "or_"}.get(op, op)
+            lines.append(
+                f"b.{method}({fmt_reg(dest)}, {fmt_reg(srcs[0])}, "
+                f"{fmt_reg(srcs[1])})"
+            )
+    if needs_end:
+        lines.append("b.label('__end')")
+    lines.append("b.halt()")
+    lines.append("program = b.build()")
+    return "\n".join(lines)
+
+
+def generate_spec(seed: int, params: Optional[GenParams] = None
+                  ) -> List[SpecItem]:
+    """Generate one program spec; profile rotates with the seed."""
+    if params is None:
+        params = PROFILES[seed % len(PROFILES)][1]
+        # vary the size a little so window pressure differs per seed
+        params = replace(
+            params, size=params.size + (seed * 7) % 40
+        )
+    return ProgramGen(seed, params).generate()

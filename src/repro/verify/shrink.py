@@ -1,0 +1,58 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Classic ddmin over the program *spec* (the item list produced by
+:mod:`repro.verify.genprog`): repeatedly delete chunks of items, keeping
+any deletion after which the predicate still reports the same failure.
+The caller's predicate re-assembles and re-runs the candidate — a
+variant that no longer halts (e.g. a loop whose counter init was
+deleted) simply fails the predicate and is rejected, so the shrinker
+needs no structural knowledge of loops or labels
+(:func:`~repro.verify.genprog.assemble` already repairs dangling branch
+targets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .genprog import SpecItem
+
+#: Bound on predicate evaluations per shrink (each one is a full
+#: differential run; keep repro turnaround sane).
+DEFAULT_MAX_EVALS = 400
+
+
+def ddmin(
+    spec: Sequence[SpecItem],
+    predicate: Callable[[List[SpecItem]], bool],
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> List[SpecItem]:
+    """Minimise ``spec`` while ``predicate`` keeps returning True.
+
+    ``predicate`` must be True for ``spec`` itself (the caller verifies
+    this; ddmin assumes it).  Returns a 1-minimal-ish sublist: no single
+    remaining chunk at the final granularity can be removed.
+    """
+    items = list(spec)
+    evals = 0
+    granularity = 2
+    while len(items) >= 2 and evals < max_evals:
+        chunk = max(1, len(items) // granularity)
+        removed_any = False
+        start = 0
+        while start < len(items) and evals < max_evals:
+            candidate = items[:start] + items[start + chunk:]
+            evals += 1
+            if candidate and predicate(candidate):
+                items = candidate
+                removed_any = True
+                # items shifted left into `start`; retry the same window
+            else:
+                start += chunk
+        if removed_any:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break  # 1-minimal at single-item granularity
+        else:
+            granularity = min(len(items), granularity * 2)
+    return items

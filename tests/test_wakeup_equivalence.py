@@ -5,6 +5,12 @@
 this scoreboard replaced.  Any drift means the event-driven wakeup
 changed scheduling behaviour — which is a bug by definition, however
 small the delta.
+
+The ballerino-family cells were re-captured after the fuzzer-found
+scheduler fixes (stale steering reservations, shared P-IQ collapse
+remap, ideal-sharing capacity — see docs/correctness.md): those fixes
+legitimately change steering timing, so cycle counts moved by a few
+cycles on 10 of 84 cells while committed/issued stayed identical.
 """
 
 import json
