@@ -14,7 +14,7 @@ Quickstart::
 """
 
 from .core.config import CoreConfig, SchedulerParams, config_for
-from .core.pipeline import Pipeline, SimulationDeadlock, simulate
+from .core.pipeline import DeadlockError, Pipeline, SimulationDeadlock, simulate
 from .core.stats import SimResult
 from .telemetry import StallAttribution, Tracer
 from .workloads.kernels import KERNELS, build_trace
@@ -28,6 +28,7 @@ __all__ = [
     "CoreConfig",
     "SchedulerParams",
     "config_for",
+    "DeadlockError",
     "Pipeline",
     "SimulationDeadlock",
     "simulate",

@@ -9,8 +9,17 @@ fans uncached (workload, config, seed) tuples across a
 and serial execution are byte-identical and every later lookup is a hit.
 
 Cache entries are written atomically (``*.tmp`` + ``os.replace``) so
-concurrent workers can never expose a torn file, and a corrupt/truncated
-entry is treated as a miss (deleted and re-simulated), never a crash.
+concurrent workers can never expose a torn file, and a corrupt,
+truncated, zero-byte or unreadable entry is treated as a miss (and
+counted on :attr:`ExperimentRunner.cache_warnings`), never a crash.
+
+Campaign fault tolerance (see docs/robustness.md): ``run_many`` submits
+each cell as its own future, enforces a per-task wall-clock timeout,
+retries crashed/timed-out cells with exponential backoff, survives
+``BrokenProcessPool`` by respawning the pool and requeueing the in-flight
+cells, and quarantines a persistently failing cell as a structured
+:class:`FailedResult` instead of sinking the whole batch.  ``Ctrl-C``
+stops the pool but preserves everything already merged into the cache.
 
 Environment knobs:
 
@@ -18,6 +27,11 @@ Environment knobs:
 * ``REPRO_BENCH_SEED`` — workload data seed (default 7).
 * ``REPRO_BENCH_CACHE`` — cache directory ("" disables the disk cache).
 * ``REPRO_BENCH_JOBS`` — default worker count for ``run_many`` (default 1).
+* ``REPRO_BENCH_TIMEOUT`` — per-task wall-clock timeout in seconds
+  (default 0 = no timeout).
+* ``REPRO_BENCH_RETRIES`` — attempts after the first failure (default 2).
+* ``REPRO_CHAOS`` — fault-injection spec for the chaos harness (see
+  :mod:`repro.verify.chaos`); empty/unset means no injection.
 """
 
 from __future__ import annotations
@@ -26,23 +40,74 @@ import hashlib
 import json
 import math
 import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.config import CoreConfig, config_for
-from ..core.pipeline import simulate
+from ..core.pipeline import SimulationDeadlock, simulate
 from ..core.stats import RESULT_SCHEMA_VERSION, SimResult
 from ..workloads.suite import SUITE_NAMES, get_trace
 
 DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
 DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 DEFAULT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "0"))
+DEFAULT_RETRIES = int(os.environ.get("REPRO_BENCH_RETRIES", "2"))
+
+#: Base delay (seconds) for the exponential pool-respawn backoff.
+BACKOFF_BASE = 0.1
+#: How often the parallel loop polls for completions/timeouts (seconds).
+_POLL_INTERVAL = 0.1
 
 #: One run request: (workload, config) or (workload, config, seed).
 Task = Union[
     Tuple[str, CoreConfig],
     Tuple[str, CoreConfig, Optional[int]],
 ]
+
+
+@dataclass
+class FailedResult:
+    """A quarantined cell: what failed, how, and after how many attempts.
+
+    Returned by :meth:`ExperimentRunner.run_many` in place of a
+    :class:`~repro.core.stats.SimResult` once a (workload, config, seed)
+    cell has exhausted its retries, so a single poisoned cell degrades
+    to a structured record instead of aborting the campaign.  ``kind``
+    is one of ``deadlock`` / ``timeout`` / ``worker-lost`` / ``error``;
+    ``snapshot`` holds the pipeline snapshot for deadlocks (see
+    :mod:`repro.telemetry.snapshot`).
+    """
+
+    workload: str
+    config_name: str
+    seed: int
+    kind: str
+    error: str
+    attempts: int
+    snapshot: Dict = field(default_factory=dict)
+
+    #: Counterpart of ``SimResult.ok`` for batch consumers.
+    ok = False
+
+    def describe(self) -> str:
+        return (f"{self.workload}/{self.config_name} seed={self.seed}: "
+                f"{self.kind} after {self.attempts} attempt(s) — {self.error}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": False,
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "seed": self.seed,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "snapshot": self.snapshot,
+        }
 
 
 def _atomic_write_json(path: Path, payload: Dict) -> None:
@@ -57,11 +122,21 @@ def _run_task(payload) -> Dict:
 
     Module-level so it pickles; returns ``SimResult.to_dict()`` and, when
     a cache directory is configured, publishes the entry atomically so
-    sibling workers and future runners share it.
+    sibling workers and future runners share it.  With ``REPRO_CHAOS``
+    set, the chaos harness gets a chance to inject a fault (worker kill,
+    hang, error, wedged scheduler) before/instead of the real run.
     """
-    workload, config, seed, target_ops, cache_dir, key = payload
-    trace = get_trace(workload, target_ops, seed)
-    result = simulate(trace, config)
+    workload, config, seed, target_ops, cache_dir, key, attempt = payload
+    if os.environ.get("REPRO_CHAOS"):
+        from ..verify import chaos
+
+        result = chaos.worker_fault(workload, config, seed, target_ops,
+                                    key, attempt)
+    else:
+        result = None
+    if result is None:
+        trace = get_trace(workload, target_ops, seed)
+        result = simulate(trace, config)
     data = result.to_dict()
     if cache_dir:
         _atomic_write_json(Path(cache_dir) / f"{key}.json", data)
@@ -69,7 +144,18 @@ def _run_task(payload) -> Dict:
 
 
 class ExperimentRunner:
-    """Runs and caches (workload x config) simulations."""
+    """Runs and caches (workload x config) simulations.
+
+    Args:
+        target_ops: Dynamic micro-ops per workload trace.
+        seed: Workload data seed.
+        cache_dir: On-disk result cache ("" disables it; ``None`` uses
+            ``$REPRO_BENCH_CACHE`` or the repo-local ``.bench_cache``).
+        jobs: Default worker count for :meth:`run_many`.
+        task_timeout: Per-task wall-clock timeout (seconds) for parallel
+            batches; ``None``/0 disables it.
+        retries: Extra attempts a failing cell gets before quarantine.
+    """
 
     def __init__(
         self,
@@ -77,10 +163,17 @@ class ExperimentRunner:
         seed: int = DEFAULT_SEED,
         cache_dir: Optional[str] = None,
         jobs: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ):
         self.target_ops = target_ops
         self.seed = seed
         self.jobs = max(1, DEFAULT_JOBS if jobs is None else jobs)
+        self.task_timeout = (
+            (DEFAULT_TIMEOUT or None) if task_timeout is None
+            else (task_timeout or None)
+        )
+        self.retries = max(0, DEFAULT_RETRIES if retries is None else retries)
         if cache_dir is None:
             cache_dir = os.environ.get(
                 "REPRO_BENCH_CACHE",
@@ -92,6 +185,17 @@ class ExperimentRunner:
         self._memory: Dict[str, SimResult] = {}
         self.simulations_run = 0
         self.cache_hits = 0
+        #: unreadable / zero-byte / corrupt disk-cache entries seen
+        self.cache_warnings = 0
+        #: persistently failing cells: key -> FailedResult (never retried
+        #: again by this runner; a fresh runner starts clean)
+        self.quarantined: Dict[str, FailedResult] = {}
+        #: every quarantine event, in discovery order
+        self.failures: List[FailedResult] = []
+        #: resilience telemetry for reports / tests
+        self.retries_performed = 0
+        self.timeouts = 0
+        self.pool_restarts = 0
 
     # ------------------------------------------------------------------
     def _key(self, workload: str, config: CoreConfig, seed: int) -> str:
@@ -113,22 +217,48 @@ class ExperimentRunner:
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
     def _load_disk(self, key: str) -> Optional[SimResult]:
-        """Fetch one disk-cache entry; a corrupt entry is a miss."""
+        """Fetch one disk-cache entry; any unusable entry is a miss.
+
+        Tolerates (and counts on :attr:`cache_warnings`) corrupt JSON,
+        zero-byte files from a crashed pre-atomic writer, and unreadable
+        entries (permissions, transient IO errors).  Unreadable files are
+        left in place — the next writer's ``os.replace`` repairs them;
+        corrupt ones are deleted so they get re-simulated exactly once.
+        """
         if self.cache_dir is None:
             return None
         path = self.cache_dir / f"{key}.json"
         if not path.exists():
             return None
         try:
-            return SimResult.from_dict(json.loads(path.read_text()))
+            text = path.read_text()
+        except OSError:
+            self.cache_warnings += 1
+            return None
+        except UnicodeDecodeError:
+            # binary garbage where JSON should be: definitely corrupt
+            self.cache_warnings += 1
+            self._discard_entry(path)
+            return None
+        if not text.strip():
+            self.cache_warnings += 1
+            self._discard_entry(path)
+            return None
+        try:
+            return SimResult.from_dict(json.loads(text))
         except (ValueError, KeyError, TypeError):
             # truncated / corrupt (e.g. a worker died mid-write before
             # writes were atomic): drop it and re-simulate
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.cache_warnings += 1
+            self._discard_entry(path)
             return None
+
+    @staticmethod
+    def _discard_entry(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def _fetch_cached(self, key: str) -> Optional[SimResult]:
         """Memory-then-disk lookup; counts a hit when found."""
@@ -167,10 +297,42 @@ class ExperimentRunner:
         return result
 
     # ------------------------------------------------------------------
+    # failure bookkeeping
+    # ------------------------------------------------------------------
+    def _quarantine(self, key: str, triple: Tuple[str, CoreConfig, int],
+                    kind: str, error: str, attempts: int,
+                    snapshot: Optional[Dict] = None) -> FailedResult:
+        workload, config, seed = triple
+        failed = FailedResult(
+            workload=workload, config_name=config.name, seed=seed,
+            kind=kind, error=error, attempts=attempts,
+            snapshot=snapshot or {},
+        )
+        self.quarantined[key] = failed
+        self.failures.append(failed)
+        return failed
+
+    @staticmethod
+    def _classify_failure(exc: BaseException) -> Tuple[str, str, Dict]:
+        if isinstance(exc, SimulationDeadlock):
+            return ("deadlock", str(exc), getattr(exc, "snapshot", {}) or {})
+        return ("error", f"{type(exc).__name__}: {exc}", {})
+
+    def failure_summary(self) -> str:
+        """Human-readable summary of every quarantined cell ("" if none)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} cell(s) quarantined:"]
+        lines += [f"  - {failed.describe()}" for failed in self.failures]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # parallel execution
     # ------------------------------------------------------------------
-    def run_many(self, tasks: Sequence[Task],
-                 jobs: Optional[int] = None) -> List[SimResult]:
+    def run_many(self, tasks: Sequence[Task], jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 ) -> List[Union[SimResult, FailedResult]]:
         """Run (or fetch) a batch of simulations, results in task order.
 
         Each task is ``(workload, config)`` or ``(workload, config,
@@ -181,8 +343,17 @@ class ExperimentRunner:
         cache in exactly the state a serial run would, and results are
         byte-identical to serial execution.
 
-        ``jobs=None`` uses the runner's default (the ``jobs``
-        constructor argument / ``REPRO_BENCH_JOBS``).
+        A cell whose worker crashes, hangs past ``timeout`` or raises is
+        retried up to ``retries`` times (deterministic failures —
+        deadlocks — are not retried) and then **quarantined**: its slot
+        in the returned list holds a :class:`FailedResult` and later
+        batches serve the same record without re-running it.  Callers
+        that need every cell healthy should check ``result.ok`` or
+        :attr:`failures`.  ``KeyboardInterrupt`` aborts the batch but
+        every already-finished cell stays merged in the cache.
+
+        ``jobs`` / ``timeout`` / ``retries`` default to the runner's
+        constructor values.
         """
         norm: List[Tuple[str, CoreConfig, int]] = []
         for task in tasks:
@@ -191,36 +362,188 @@ class ExperimentRunner:
             norm.append((workload, config, seed))
         keys = [self._key(w, c, s) for w, c, s in norm]
         jobs = self.jobs if jobs is None else max(1, jobs)
+        timeout = self.task_timeout if timeout is None else (timeout or None)
+        retries = self.retries if retries is None else max(0, retries)
 
         pending: Dict[str, Tuple[str, CoreConfig, int]] = {}
         for key, triple in zip(keys, norm):
-            if key in pending:
+            if key in pending or key in self.quarantined:
                 continue
             if self._fetch_cached(key) is None:
                 pending[key] = triple
 
         if pending and jobs > 1 and len(pending) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+            self._run_parallel(pending, jobs, timeout, retries)
+        elif pending:
+            self._run_serial(pending, retries)
 
-            cache = str(self.cache_dir) if self.cache_dir is not None else ""
-            payloads = [
-                (w, c, s, self.target_ops, cache, key)
-                for key, (w, c, s) in pending.items()
-            ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) \
-                    as pool:
-                for key, data in zip(
-                    pending, pool.map(_run_task, payloads)
-                ):
-                    self._memory[key] = SimResult.from_dict(data)
-                    self.simulations_run += 1
-        else:
-            for key, (w, c, s) in pending.items():
-                trace = get_trace(w, self.target_ops, s)
-                result = simulate(trace, c)
-                self.simulations_run += 1
-                self._store(key, result)
-        return [self._memory[key] for key in keys]
+        out: List[Union[SimResult, FailedResult]] = []
+        for key in keys:
+            result = self._memory.get(key)
+            out.append(result if result is not None else self.quarantined[key])
+        return out
+
+    def _finish(self, key: str, result: SimResult) -> None:
+        """Merge one fresh simulation through the unified store path.
+
+        Both the serial and the parallel path land here, so the memory
+        and disk caches end up in the identical state either way (the
+        parallel worker's own publish writes the same bytes)."""
+        self.simulations_run += 1
+        self._store(key, result)
+
+    def _run_serial(self, pending: Dict[str, Tuple[str, CoreConfig, int]],
+                    retries: int) -> None:
+        """In-process fallback with the same retry/quarantine semantics.
+
+        ``KeyboardInterrupt`` propagates immediately — every cell
+        finished before it is already merged into the cache by
+        :meth:`_finish`, so an interrupted campaign resumes where it
+        stopped."""
+        for key, (workload, config, seed) in pending.items():
+            attempt = 0
+            while True:
+                try:
+                    trace = get_trace(workload, self.target_ops, seed)
+                    self._finish(key, simulate(trace, config))
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    kind, error, snapshot = self._classify_failure(exc)
+                    attempt += 1
+                    if kind != "deadlock" and attempt <= retries:
+                        self.retries_performed += 1
+                        continue
+                    self._quarantine(key, (workload, config, seed), kind,
+                                     error, attempt, snapshot)
+                    break
+
+    def _run_parallel(self, pending: Dict[str, Tuple[str, CoreConfig, int]],
+                      jobs: int, timeout: Optional[float],
+                      retries: int) -> None:
+        """Fan ``pending`` over a worker pool, surviving worker failures.
+
+        Structure: a work queue of (key, attempt) plus an in-flight map
+        of future -> (key, deadline).  Completions merge through
+        :meth:`_finish`; failures either requeue (attempt+1) or
+        quarantine.  A hung task (deadline exceeded) or a broken pool
+        kills every worker, charges an attempt to the in-flight cells,
+        requeues them, and respawns the pool after an exponential
+        backoff.  ``KeyboardInterrupt`` tears the pool down without
+        waiting; the cache keeps everything already merged.
+        """
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        cache = str(self.cache_dir) if self.cache_dir is not None else ""
+        max_workers = min(jobs, len(pending))
+        queue: Deque[Tuple[str, int]] = deque(
+            (key, 0) for key in pending
+        )
+        inflight: Dict[object, Tuple[str, Optional[float], int]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        breaks = 0
+
+        def payload(key: str, attempt: int):
+            workload, config, seed = pending[key]
+            return (workload, config, seed, self.target_ops, cache, key,
+                    attempt)
+
+        def fail_or_requeue(key: str, attempt: int, kind: str, error: str,
+                            snapshot: Optional[Dict] = None) -> None:
+            if kind != "deadlock" and attempt < retries:
+                self.retries_performed += 1
+                queue.append((key, attempt + 1))
+            else:
+                self._quarantine(key, pending[key], kind, error,
+                                 attempt + 1, snapshot)
+
+        def kill_pool() -> None:
+            nonlocal pool
+            if pool is None:
+                return
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except OSError:  # already gone
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+
+        def abandon_inflight(culprits: Sequence[object]) -> None:
+            """Pool died / was killed: requeue every in-flight cell.
+
+            The cells named in ``culprits`` already had their failure
+            charged; the rest get an attempt charged too (the dying
+            worker cannot be attributed, so everybody pays one — this
+            bounds a kill-looping cell at ``retries`` pool restarts)."""
+            for future, (key, _, attempt) in list(inflight.items()):
+                if future not in culprits:
+                    fail_or_requeue(key, attempt, "worker-lost",
+                                    "worker pool died mid-task")
+            inflight.clear()
+
+        try:
+            while queue or inflight:
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                while queue and len(inflight) < 2 * max_workers:
+                    key, attempt = queue.popleft()
+                    future = pool.submit(_run_task, payload(key, attempt))
+                    deadline = (time.monotonic() + timeout) if timeout else None
+                    inflight[future] = (key, deadline, attempt)
+                done, _ = wait(list(inflight), timeout=_POLL_INTERVAL,
+                               return_when=FIRST_COMPLETED)
+                broke = False
+                for future in done:
+                    key, _, attempt = inflight.pop(future)
+                    try:
+                        data = future.result()
+                    except BrokenProcessPool:
+                        fail_or_requeue(key, attempt, "worker-lost",
+                                        "worker process died (BrokenProcessPool)")
+                        broke = True
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:
+                        kind, error, snapshot = self._classify_failure(exc)
+                        fail_or_requeue(key, attempt, kind, error, snapshot)
+                    else:
+                        self._finish(key, SimResult.from_dict(data))
+                if broke:
+                    abandon_inflight(culprits=())
+                    kill_pool()
+                    breaks += 1
+                    self.pool_restarts += 1
+                    time.sleep(BACKOFF_BASE * (2 ** min(breaks - 1, 6)))
+                    continue
+                if timeout:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_, deadline, _) in inflight.items()
+                        if deadline is not None and now > deadline
+                    ]
+                    if expired:
+                        for future in expired:
+                            key, _, attempt = inflight[future]
+                            self.timeouts += 1
+                            fail_or_requeue(
+                                key, attempt, "timeout",
+                                f"exceeded {timeout:g}s wall-clock timeout")
+                        # a hung worker cannot be cancelled — only killed
+                        abandon_inflight(culprits=expired)
+                        kill_pool()
+                        breaks += 1
+                        self.pool_restarts += 1
+                        time.sleep(BACKOFF_BASE * (2 ** min(breaks - 1, 6)))
+        except KeyboardInterrupt:
+            kill_pool()
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
 
     def run_seeds(self, workload: str, config: CoreConfig,
                   seeds: Sequence[int],
@@ -240,8 +563,12 @@ class ExperimentRunner:
         config: CoreConfig,
         workloads: Sequence[str] = SUITE_NAMES,
         jobs: Optional[int] = None,
-    ) -> Dict[str, SimResult]:
-        """Run the whole suite under one configuration."""
+    ) -> Dict[str, Union[SimResult, FailedResult]]:
+        """Run the whole suite under one configuration.
+
+        Quarantined cells appear as :class:`FailedResult` values —
+        filter with ``result.ok`` and see :meth:`failure_summary`.
+        """
         results = self.run_many(
             [(name, config) for name in workloads], jobs=jobs
         )
@@ -254,7 +581,11 @@ class ExperimentRunner:
         workloads: Sequence[str] = SUITE_NAMES,
         jobs: Optional[int] = None,
     ) -> Dict[str, float]:
-        """Per-workload speedup (execution time ratio) of config vs baseline."""
+        """Per-workload speedup (execution time ratio) of config vs baseline.
+
+        Workloads whose baseline or test cell was quarantined are left
+        out of the result (check :attr:`failures` for the why).
+        """
         tasks: List[Task] = [(name, baseline) for name in workloads]
         tasks += [(name, config) for name in workloads]
         results = self.run_many(tasks, jobs=jobs)
@@ -262,6 +593,8 @@ class ExperimentRunner:
         for index, name in enumerate(workloads):
             base = results[index]
             test = results[index + len(workloads)]
+            if not (base.ok and test.ok):
+                continue
             out[name] = base.seconds / test.seconds
         return out
 

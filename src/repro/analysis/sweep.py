@@ -20,11 +20,20 @@ from .runner import ExperimentRunner, geomean
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (config, workload) cell of a sweep."""
+    """One (config, workload) cell of a sweep.
+
+    ``result`` is normally a :class:`~repro.core.stats.SimResult`; a cell
+    quarantined by the fault-tolerant runner carries a
+    :class:`~repro.analysis.runner.FailedResult` instead (``ok`` False).
+    """
 
     params: Dict[str, object]
     workload: str
     result: SimResult
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
 
     @property
     def ipc(self) -> float:
@@ -37,9 +46,19 @@ class SweepPoint:
 
 @dataclass
 class SweepResult:
-    """All cells of a sweep, with aggregation helpers."""
+    """All cells of a sweep, with aggregation helpers.
+
+    Aggregations (:meth:`geomean_ipc`, :meth:`best`) skip quarantined
+    cells so one poisoned cell degrades the sweep instead of crashing
+    it; :attr:`failures` lists what was skipped.
+    """
 
     points: List[SweepPoint]
+
+    @property
+    def failures(self) -> List[SweepPoint]:
+        """Cells the runner quarantined (``result`` is a FailedResult)."""
+        return [p for p in self.points if not p.ok]
 
     def filter(self, **params) -> "SweepResult":
         """Cells whose parameters match every given key=value."""
@@ -51,13 +70,14 @@ class SweepResult:
 
     def geomean_ipc(self, **params) -> float:
         cells = self.filter(**params).points
-        return geomean([p.ipc for p in cells])
+        return geomean([p.ipc for p in cells if p.ok])
 
     def best(self, metric: Callable[[SweepPoint], float]) -> SweepPoint:
-        """The cell maximising ``metric``."""
-        if not self.points:
+        """The healthy cell maximising ``metric``."""
+        healthy = [p for p in self.points if p.ok]
+        if not healthy:
             raise ValueError("empty sweep")
-        return max(self.points, key=metric)
+        return max(healthy, key=metric)
 
     def table(self, metric: Callable[[SweepPoint], float] = None):
         """(params, workload, value) triples for rendering."""

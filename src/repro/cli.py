@@ -15,12 +15,20 @@ Commands:
   per-cycle invariants and ddmin-shrunken repros (docs/correctness.md);
   the global ``--ops`` caps each generated program's dynamic length and
   ``--seed`` seeds the campaign.
+* ``chaos`` — fault-injection drill for the campaign runner: kills,
+  hangs, injected errors, forced deadlocks and corrupted caches, then a
+  byte-identity check against a clean serial run (docs/robustness.md).
 
 All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` /
 ``--jobs`` and use the shared ``.bench_cache`` result cache
 (``--jobs N`` fans uncached simulations across N worker processes —
-results are identical to serial; see docs/performance.md).  Traced runs
-bypass the cache (``simulate``/``compare`` also accept ``--trace-out``).
+results are identical to serial; see docs/performance.md).
+``--task-timeout`` / ``--retries`` tune the fault tolerance of batch
+runs: cells that crash, hang or raise are retried and eventually
+quarantined instead of sinking the campaign (batch commands then report
+partial results and exit non-zero; see docs/robustness.md).  Traced
+runs bypass the cache (``simulate``/``compare`` also accept
+``--trace-out``).
 """
 
 from __future__ import annotations
@@ -59,6 +67,14 @@ def _make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for uncached simulations "
                              "(default: $REPRO_BENCH_JOBS or 1)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock timeout per simulation in batch "
+                             "runs (default: $REPRO_BENCH_TIMEOUT or none)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget per failing cell before "
+                             "quarantine (default: $REPRO_BENCH_RETRIES "
+                             "or 2)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the kernel suite")
@@ -130,13 +146,52 @@ def _make_parser() -> argparse.ArgumentParser:
                       help="campaign seed (default 7)")
     fuzz.add_argument("--ops", type=int, default=argparse.SUPPRESS,
                       help="dynamic op cap per generated program")
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="fault-injection drill for the campaign runner "
+             "(see docs/robustness.md)")
+    chaos_cmd.add_argument("--arches", nargs="*",
+                           default=["inorder", "ooo", "ballerino"],
+                           metavar="ARCH",
+                           help="configs to drill (default: inorder ooo "
+                                "ballerino)")
+    chaos_cmd.add_argument("--smoke", action="store_true",
+                           help="fast kernel subset (CI smoke)")
+    chaos_cmd.add_argument("--kill", type=float, default=0.12,
+                           help="P(worker killed mid-task) per cell")
+    chaos_cmd.add_argument("--hang", type=float, default=0.10,
+                           help="P(worker hangs past the timeout) per cell")
+    chaos_cmd.add_argument("--error", type=float, default=0.12,
+                           help="P(transient worker error) per cell")
+    chaos_cmd.add_argument("--wedge", type=float, default=0.10,
+                           help="P(forced scheduler deadlock) per cell")
+    chaos_cmd.add_argument("--poison", type=float, default=0.10,
+                           help="P(persistent error -> quarantine) per cell")
+    chaos_cmd.add_argument("--timeout", type=float, default=30.0,
+                           help="per-task wall-clock timeout in seconds "
+                                "(default 30)")
+    chaos_cmd.add_argument("--out", default=None, metavar="FILE",
+                           help="write the full campaign report here")
+    # accept the global knobs after the subcommand too (`repro chaos
+    # --seed 0`); SUPPRESS keeps a pre-subcommand value
+    chaos_cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                           help="campaign seed: workload data AND fault "
+                                "selection (default 7)")
+    chaos_cmd.add_argument("--ops", type=int, default=argparse.SUPPRESS,
+                           help="dynamic micro-ops per workload trace")
+    chaos_cmd.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                           help="worker processes for the fault run "
+                                "(default 4)")
     return parser
 
 
 def _runner(args) -> ExperimentRunner:
     cache = "" if args.no_cache else None
     return ExperimentRunner(target_ops=args.ops, seed=args.seed,
-                            cache_dir=cache, jobs=args.jobs)
+                            cache_dir=cache, jobs=args.jobs,
+                            task_timeout=args.task_timeout,
+                            retries=args.retries)
 
 
 def _cmd_workloads(args) -> int:
@@ -277,13 +332,15 @@ def _cmd_compare(args) -> int:
         if arch not in _ALL_ARCHES:
             print(f"unknown arch: {arch}", file=sys.stderr)
             return 2
+    by_arch = {}
     if not args.trace_out:
-        # batch the uncached runs (parallel under --jobs); the loop
-        # below then reads everything from the runner's cache
-        runner.run_many([
+        # batch the uncached runs (parallel under --jobs); quarantined
+        # cells come back as FailedResult rows instead of raising
+        results = runner.run_many([
             (args.workload, config_for(arch, width=args.width))
             for arch in args.arches
         ])
+        by_arch = dict(zip(args.arches, results))
     rows = []
     for arch in args.arches:
         if args.trace_out:
@@ -294,7 +351,10 @@ def _cmd_compare(args) -> int:
                 metadata={"workload": args.workload, "config": arch},
             )
         else:
-            result = runner.run_arch(args.workload, arch, width=args.width)
+            result = by_arch[arch]
+        if not result.ok:
+            rows.append([arch, "FAILED", result.kind, "", ""])
+            continue
         cfg = config_for(arch, width=args.width)
         report = model.evaluate(result, cfg)
         rows.append([
@@ -306,31 +366,49 @@ def _cmd_compare(args) -> int:
         ["arch", "IPC", "cycles", "pJ/op", "1/EDP (1/(J*s) x1e12)"], rows,
         title=f"{args.workload} @ {args.width}-wide",
     ))
-    return 0
+    return _report_failures(runner)
+
+
+def _report_failures(runner: ExperimentRunner) -> int:
+    """Print the quarantine summary; non-zero when cells were lost."""
+    summary = runner.failure_summary()
+    if not summary:
+        return 0
+    print()
+    print(summary, file=sys.stderr)
+    return 1
 
 
 def _cmd_suite(args) -> int:
     runner = _runner(args)
-    runner.run_many([
+    arches = ("inorder", args.arch)
+    results = iter(runner.run_many([
         (workload, config_for(arch, width=args.width))
-        for arch in ("inorder", args.arch)
+        for arch in arches
         for workload in SUITE_NAMES
-    ])
+    ]))
+    by_arch = {arch: {w: next(results) for w in SUITE_NAMES}
+               for arch in arches}
     rows = []
     speedups = []
     for workload in SUITE_NAMES:
-        base = runner.run_arch(workload, "inorder", width=args.width)
-        result = runner.run_arch(workload, args.arch, width=args.width)
+        base = by_arch["inorder"][workload]
+        result = by_arch[args.arch][workload]
+        if not (base.ok and result.ok):
+            bad = result if not result.ok else base
+            rows.append([workload, "FAILED", bad.kind, ""])
+            continue
         speedup = base.seconds / result.seconds
         speedups.append(speedup)
         rows.append([workload, round(result.ipc, 3), result.cycles,
                      round(speedup, 2)])
-    rows.append(["GEOMEAN", "", "", round(geomean(speedups), 2)])
+    rows.append(["GEOMEAN", "", "",
+                 round(geomean(speedups), 2) if speedups else "n/a"])
     print(format_table(
         ["workload", "IPC", "cycles", "speedup/InO"], rows,
         title=f"{args.arch} @ {args.width}-wide across the suite",
     ))
-    return 0
+    return _report_failures(runner)
 
 
 def _cmd_trace(args) -> int:
@@ -449,6 +527,38 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    from .verify.chaos import ChaosSpec, run_campaign
+
+    for arch in args.arches:
+        if arch not in _ALL_ARCHES:
+            print(f"unknown arch: {arch}", file=sys.stderr)
+            return 2
+    spec = ChaosSpec(kill=args.kill, hang=args.hang, error=args.error,
+                     wedge=args.wedge, poison=args.poison, salt=args.seed)
+    report = run_campaign(
+        arches=args.arches,
+        target_ops=args.ops,
+        seed=args.seed,
+        jobs=args.jobs or 4,
+        spec=spec,
+        timeout=args.timeout,
+        retries=args.retries if args.retries is not None else 4,
+        smoke=args.smoke,
+        progress=print,
+    )
+    print()
+    print(report.full_report())
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).resolve().parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(report.full_report() + "\n")
+        print(f"wrote campaign report: {args.out}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "configs": _cmd_configs,
@@ -460,6 +570,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
 }
 
 

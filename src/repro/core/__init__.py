@@ -8,7 +8,7 @@ from .config import (
     config_for,
 )
 from .ifop import InFlightOp
-from .pipeline import Pipeline, SimulationDeadlock, simulate
+from .pipeline import DeadlockError, Pipeline, SimulationDeadlock, simulate
 from .ports import PORT_MAPS_BY_WIDTH, PortFile
 from .regready import ReadyFile
 from .rob import ReorderBuffer
@@ -21,6 +21,7 @@ __all__ = [
     "SchedulerParams",
     "config_for",
     "InFlightOp",
+    "DeadlockError",
     "Pipeline",
     "SimulationDeadlock",
     "simulate",

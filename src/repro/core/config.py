@@ -69,6 +69,11 @@ class CoreConfig:
     fetch_latency: int = 3  # fetch+decode pipeline depth
     rename_latency: int = 2  # two-stage pipelined renaming (paper SIV-B)
     mdp_enabled: bool = True
+    #: Forward-progress watchdog: raise
+    #: :class:`~repro.core.pipeline.DeadlockError` (with a pipeline
+    #: snapshot) when no µop commits for this many consecutive cycles.
+    #: ``0`` disables the watchdog (the ``max_cycles`` bound still holds).
+    deadlock_cycles: int = 100_000
     #: Run the per-cycle invariant checker (repro.verify.invariants).
     #: Debug/fuzzing aid — slows simulation down considerably.
     check_invariants: bool = False

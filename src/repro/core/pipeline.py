@@ -63,6 +63,33 @@ class SimulationDeadlock(RuntimeError):
     """No instruction committed for an implausibly long stretch."""
 
 
+class DeadlockError(SimulationDeadlock):
+    """The forward-progress watchdog tripped (or ``max_cycles`` hit).
+
+    Carries a JSON-serialisable pipeline ``snapshot`` (see
+    :mod:`repro.telemetry.snapshot`) naming the stuck ROB-head µop,
+    per-IQ occupancy/heads, wakeup-scoreboard and LFST state, and the
+    stall-attribution totals when available.  The custom ``__reduce__``
+    keeps the snapshot attached across the parallel runner's process
+    boundary (plain exception pickling drops extra attributes).
+    """
+
+    def __init__(self, message: str, snapshot: Optional[Dict] = None):
+        super().__init__(message)
+        self.snapshot: Dict = snapshot if snapshot is not None else {}
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.snapshot))
+
+    def render(self) -> str:
+        """The message plus the rendered snapshot block."""
+        from ..telemetry.snapshot import render_snapshot
+
+        if not self.snapshot:
+            return str(self)
+        return f"{self}\n{render_snapshot(self.snapshot)}"
+
+
 class Pipeline:
     """One simulated core executing one trace.
 
@@ -171,9 +198,21 @@ class Pipeline:
     # main loop
     # ==================================================================
     def run(self, max_cycles: int = 50_000_000) -> SimResult:
-        """Simulate until the whole trace commits; return the results."""
+        """Simulate until the whole trace commits; return the results.
+
+        Raises:
+            DeadlockError: When no µop commits for
+                ``config.deadlock_cycles`` consecutive cycles (``0``
+                disables the watchdog) or the cycle count exceeds
+                ``max_cycles``.  The exception carries a full pipeline
+                snapshot for post-mortem diagnosis.
+        """
         total = len(self.trace)
+        deadlock_cycles = self.config.deadlock_cycles
         last_commit_cycle = 0
+        last_fetch_cycle = 0
+        last_issue_cycle = 0
+        fetched_before = issued_before = 0
         while self.commit_count < total:
             before = self.commit_count
             self._commit()
@@ -188,15 +227,22 @@ class Pipeline:
                 self.attribution.record_cycle(self, self.commit_count != before)
             if self.check_invariants:
                 self._assert_invariants()
+            if self.stats.fetched != fetched_before:
+                fetched_before = self.stats.fetched
+                last_fetch_cycle = self.cycle
+            if self.stats.issued != issued_before:
+                issued_before = self.stats.issued
+                last_issue_cycle = self.cycle
             self.cycle += 1
-            if self.cycle - last_commit_cycle > 100_000:
-                raise SimulationDeadlock(
-                    f"{self.config.name}/{self.trace.name}: no commit since "
-                    f"cycle {last_commit_cycle} (now {self.cycle}); "
-                    f"rob={len(self.rob)} head={self.rob.head}"
+            if deadlock_cycles and self.cycle - last_commit_cycle > deadlock_cycles:
+                raise self._deadlock(
+                    f"no commit since cycle {last_commit_cycle} "
+                    f"(now {self.cycle}, watchdog {deadlock_cycles}; "
+                    f"last issue {last_issue_cycle}, "
+                    f"last fetch {last_fetch_cycle})"
                 )
             if self.cycle > max_cycles:
-                raise SimulationDeadlock("max_cycles exceeded")
+                raise self._deadlock(f"max_cycles ({max_cycles}) exceeded")
         self.stats.cycles = self.cycle
         if self.attribution is not None:
             self.stats.stall_cycles = self.attribution.totals()
@@ -211,6 +257,17 @@ class Pipeline:
             stats=self.stats,
             memory_stats=self.hier.stats(),
             frequency_ghz=self.config.frequency_ghz,
+        )
+
+    def _deadlock(self, reason: str) -> DeadlockError:
+        """Build the watchdog exception with a full pipeline snapshot."""
+        from ..telemetry.snapshot import capture_snapshot, describe_head
+
+        snapshot = capture_snapshot(self, reason=reason)
+        return DeadlockError(
+            f"{self.config.name}/{self.trace.name}: {reason}; "
+            f"{describe_head(snapshot)}",
+            snapshot=snapshot,
         )
 
     # ==================================================================

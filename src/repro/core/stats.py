@@ -152,6 +152,12 @@ class SimResult:
     memory_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     frequency_ghz: float = 3.4
 
+    #: Always ``True``; the counterpart
+    #: :class:`~repro.analysis.runner.FailedResult` carries ``False``, so
+    #: batch consumers can filter with ``result.ok`` (not a dataclass
+    #: field — it never serialises).
+    ok = True
+
     @property
     def ipc(self) -> float:
         return self.stats.ipc

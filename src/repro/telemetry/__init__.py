@@ -26,6 +26,7 @@ from .export import (
     write_chrome_trace,
     write_konata,
 )
+from .snapshot import capture_snapshot, describe_head, render_snapshot
 from .tracer import (
     AUX_STAGES,
     LIFECYCLE,
@@ -45,7 +46,10 @@ __all__ = [
     "StallAttribution",
     "TraceEvent",
     "Tracer",
+    "capture_snapshot",
+    "describe_head",
     "read_chrome_trace",
+    "render_snapshot",
     "write_chrome_trace",
     "write_konata",
 ]

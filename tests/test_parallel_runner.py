@@ -107,6 +107,82 @@ def test_corrupt_cache_entry_is_rerun(tmp_path):
     assert json.loads(entry.read_text())
 
 
+def test_zero_byte_cache_entry_is_rerun(tmp_path):
+    """A crashed writer can leave an empty file: warn, discard, re-run."""
+    runner = _runner(tmp_path, "zero")
+    config = config_for("ooo")
+    good = runner.run("histogram", config)
+    entry = next(runner.cache_dir.glob("*.json"))
+    entry.write_bytes(b"")
+    fresh = _runner(tmp_path, "zero")
+    again = fresh.run("histogram", config)
+    assert fresh.cache_warnings == 1
+    assert fresh.simulations_run == 1
+    assert _dumps(again) == _dumps(good)
+    assert json.loads(entry.read_text())  # repaired on the re-run
+
+
+def test_binary_garbage_cache_entry_is_rerun(tmp_path):
+    runner = _runner(tmp_path, "garbage")
+    config = config_for("ooo")
+    good = runner.run("histogram", config)
+    entry = next(runner.cache_dir.glob("*.json"))
+    entry.write_bytes(b"\x00\xff\xfe not json at all")
+    fresh = _runner(tmp_path, "garbage")
+    again = fresh.run("histogram", config)
+    assert fresh.cache_warnings == 1
+    assert _dumps(again) == _dumps(good)
+
+
+def test_unreadable_cache_entry_warns_and_reruns(tmp_path, monkeypatch):
+    """Permission/IO errors count as a miss but leave the file alone."""
+    from pathlib import Path
+
+    runner = _runner(tmp_path, "perm")
+    config = config_for("ooo")
+    good = runner.run("histogram", config)
+    entry = next(runner.cache_dir.glob("*.json"))
+    real_read = Path.read_text
+
+    def deny(self, *args, **kwargs):
+        if self == entry:
+            raise PermissionError(13, "Permission denied")
+        return real_read(self, *args, **kwargs)
+
+    monkeypatch.setattr(Path, "read_text", deny)
+    fresh = _runner(tmp_path, "perm")
+    again = fresh.run("histogram", config)
+    assert fresh.cache_warnings == 1
+    assert fresh.simulations_run == 1
+    assert _dumps(again) == _dumps(good)
+    monkeypatch.setattr(Path, "read_text", real_read)
+    assert entry.exists()
+
+
+def test_keyboard_interrupt_keeps_partial_results(tmp_path, monkeypatch):
+    """^C mid-campaign: every finished cell stays merged in the cache."""
+    import repro.analysis.runner as runner_mod
+
+    tasks = [(w, config_for("ooo")) for w in WORKLOADS]
+    real = runner_mod.simulate
+    calls = {"n": 0}
+
+    def flaky(trace, config):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise KeyboardInterrupt
+        return real(trace, config)
+
+    monkeypatch.setattr(runner_mod, "simulate", flaky)
+    with pytest.raises(KeyboardInterrupt):
+        _runner(tmp_path, "interrupt").run_many(tasks, jobs=1)
+    monkeypatch.setattr(runner_mod, "simulate", real)
+    resumed = _runner(tmp_path, "interrupt")
+    resumed.run_many(tasks, jobs=1)
+    assert resumed.cache_hits == 1  # cell finished before ^C was kept
+    assert resumed.simulations_run == len(tasks) - 1
+
+
 def test_no_leftover_tmp_files(tmp_path):
     runner = _runner(tmp_path, "atomic")
     runner.run_many(
@@ -141,6 +217,32 @@ def test_trace_cache_corrupt_entry_rebuilt(trace_cache):
     built = get_trace("histogram", OPS, 7)
     entry = next(trace_cache.glob("*.trace"))
     entry.write_text("not a trace")
+    get_trace.cache_clear()
+    rebuilt = get_trace("histogram", OPS, 7)
+    assert len(rebuilt) == len(built)
+    assert all(a == b for a, b in zip(built, rebuilt))
+
+
+def test_trace_cache_truncated_entry_rebuilt(trace_cache):
+    """A trace file cut off mid-write must rebuild, never crash."""
+    built = get_trace("histogram", OPS, 7)
+    entry = next(trace_cache.glob("*.trace"))
+    data = entry.read_bytes()
+    entry.write_bytes(data[: len(data) // 2])
+    get_trace.cache_clear()
+    rebuilt = get_trace("histogram", OPS, 7)
+    assert len(rebuilt) == len(built)
+    assert all(a == b for a, b in zip(built, rebuilt))
+    # the rebuild repaired the disk entry: a reload now serves it intact
+    get_trace.cache_clear()
+    reloaded = get_trace("histogram", OPS, 7)
+    assert all(a == b for a, b in zip(built, reloaded))
+
+
+def test_trace_cache_zero_byte_entry_rebuilt(trace_cache):
+    built = get_trace("histogram", OPS, 7)
+    entry = next(trace_cache.glob("*.trace"))
+    entry.write_bytes(b"")
     get_trace.cache_clear()
     rebuilt = get_trace("histogram", OPS, 7)
     assert len(rebuilt) == len(built)
