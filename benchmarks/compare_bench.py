@@ -1,0 +1,223 @@
+"""Performance-regression gate: diff two perf-harness reports.
+
+Compares a fresh ``perf_harness`` run (or an existing report passed via
+``--new``) against a committed baseline ``BENCH*.json`` and exits
+non-zero when any phase regressed — wall-clock seconds grew past
+``--threshold`` times the baseline, or a throughput rate
+(``sims_per_sec`` / ``kcycles_per_sec``) fell below baseline /
+threshold.  Phases faster than ``--seconds-floor`` in both reports are
+skipped as timer noise.
+
+Reports must describe the same matrix (ops, workloads, arches); a
+mismatch exits 2 instead of producing a meaningless diff.  A ``jobs``
+or ``cpu_count`` difference is only warned about — those are
+machine-dependent, and the serial phases stay comparable.
+
+Usage (the CI perf gate; see docs/performance.md)::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py --smoke \
+        --baseline BENCH_PR2.json --threshold 2.0
+
+    # diff two saved reports without running anything
+    python benchmarks/compare_bench.py --baseline OLD.json --new NEW.json
+
+Exit codes: 0 = no regression, 1 = regression(s), 2 = incomparable
+reports / missing baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: rate fields a phase may carry (higher is better)
+RATE_KEYS = ("sims_per_sec", "kcycles_per_sec")
+
+
+def find_baseline(root: Path = REPO_ROOT) -> Optional[Path]:
+    """Newest committed ``BENCH*.json`` by name (BENCH_PR5 > BENCH_PR2)."""
+    candidates = sorted(root.glob("BENCH*.json"))
+    return candidates[-1] if candidates else None
+
+
+def comparability_issues(
+    baseline: dict, fresh: dict
+) -> Tuple[List[str], List[str]]:
+    """(hard mismatches, machine-dependent warnings) between two reports."""
+    issues: List[str] = []
+    warnings: List[str] = []
+    for key in ("ops", "workloads", "arches", "simulations"):
+        if baseline.get(key) != fresh.get(key):
+            issues.append(
+                f"{key}: baseline={baseline.get(key)!r} "
+                f"new={fresh.get(key)!r}"
+            )
+    for key in ("jobs", "cpu_count"):
+        if baseline.get(key) != fresh.get(key):
+            warnings.append(
+                f"{key} differ (baseline={baseline.get(key)!r} "
+                f"new={fresh.get(key)!r}); parallel-phase numbers are "
+                "machine-dependent"
+            )
+    return issues, warnings
+
+
+def compare_reports(
+    baseline: dict,
+    fresh: dict,
+    threshold: float = 1.5,
+    seconds_floor: float = 0.05,
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Diff every phase present in both reports.
+
+    Returns ``(rows, regressions)``: one row per compared phase (phase,
+    old/new seconds, ratio, verdict) and a flat list of human-readable
+    regression descriptions (empty = gate passes).
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must exceed 1.0, got {threshold}")
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for phase, old in baseline.get("phases", {}).items():
+        new = fresh.get("phases", {}).get(phase)
+        if new is None or "seconds" not in old or "seconds" not in new:
+            continue
+        old_s, new_s = float(old["seconds"]), float(new["seconds"])
+        row: Dict[str, object] = {
+            "phase": phase,
+            "old_seconds": old_s,
+            "new_seconds": new_s,
+            "ratio": round(new_s / old_s, 2) if old_s > 0 else None,
+            "verdict": "ok",
+        }
+        if max(old_s, new_s) < seconds_floor:
+            row["verdict"] = "skipped (sub-floor, timer noise)"
+            rows.append(row)
+            continue
+        bad: List[str] = []
+        if old_s > 0 and new_s > old_s * threshold:
+            bad.append(
+                f"wall-clock {old_s:.3f}s -> {new_s:.3f}s "
+                f"({new_s / old_s:.2f}x, threshold {threshold:.2f}x)"
+            )
+        for key in RATE_KEYS:
+            old_rate, new_rate = old.get(key), new.get(key)
+            if not old_rate or not new_rate:
+                continue
+            if float(old_rate) > float(new_rate) * threshold:
+                bad.append(
+                    f"{key} {old_rate} -> {new_rate} "
+                    f"({float(old_rate) / float(new_rate):.2f}x slower)"
+                )
+        if bad:
+            row["verdict"] = "REGRESSION: " + "; ".join(bad)
+            regressions.append(f"{phase}: " + "; ".join(bad))
+        rows.append(row)
+    return rows, regressions
+
+
+def format_rows(rows: List[Dict[str, object]]) -> str:
+    header = f"{'phase':<22} {'old (s)':>9} {'new (s)':>9} {'ratio':>6}  verdict"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        ratio = row["ratio"]
+        lines.append(
+            f"{row['phase']:<22} {row['old_seconds']:>9.3f} "
+            f"{row['new_seconds']:>9.3f} "
+            f"{ratio if ratio is not None else 'n/a':>6}  {row['verdict']}"
+        )
+    return "\n".join(lines)
+
+
+def _load(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline report (default: newest BENCH*.json "
+                             "in the repo root)")
+    parser.add_argument("--new", default=None, metavar="FILE",
+                        help="compare this saved report instead of running "
+                             "the harness")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the harness with its CI smoke matrix")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="workers for the fresh harness run "
+                             "(default: cpu count, capped at 8)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="micro-ops per trace for the fresh run "
+                             "(default: the baseline's ops)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="slowdown ratio that fails the gate "
+                             "(default 1.5)")
+    parser.add_argument("--seconds-floor", type=float, default=0.05,
+                        metavar="S",
+                        help="skip phases under S seconds in both reports "
+                             "(default 0.05)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the fresh report here")
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline or find_baseline()
+    if baseline_path is None:
+        print("no BENCH*.json baseline found (pass --baseline)",
+              file=sys.stderr)
+        return 2
+    baseline = _load(baseline_path)
+    print(f"baseline: {baseline_path}")
+
+    if args.new:
+        fresh = _load(args.new)
+        print(f"new:      {args.new}")
+    else:
+        # lazy import: keeps `--new A --new B` diffs stdlib-only and the
+        # harness (which inserts src/ into sys.path) out of test collection
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from perf_harness import run_harness
+
+        ops = args.ops or baseline.get("ops") or 3000
+        jobs = args.jobs or min(os.cpu_count() or 1, 8)
+        print(f"running fresh harness (ops={ops}, jobs={jobs}, "
+              f"smoke={args.smoke}) ...")
+        fresh = run_harness(ops=ops, jobs=jobs, smoke=args.smoke)
+    if args.out:
+        Path(args.out).write_text(json.dumps(fresh, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    issues, warnings = comparability_issues(baseline, fresh)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if issues:
+        print("reports are not comparable:", file=sys.stderr)
+        for issue in issues:
+            print(f"  - {issue}", file=sys.stderr)
+        return 2
+
+    rows, regressions = compare_reports(
+        baseline, fresh,
+        threshold=args.threshold, seconds_floor=args.seconds_floor,
+    )
+    print()
+    print(format_rows(rows))
+    print()
+    if regressions:
+        print(f"FAIL: {len(regressions)} phase(s) regressed past "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  - {regression}", file=sys.stderr)
+        return 1
+    print(f"OK: no phase regressed past {args.threshold:.2f}x "
+          f"(floor {args.seconds_floor}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

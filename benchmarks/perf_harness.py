@@ -3,10 +3,14 @@
 Times a small suite matrix under the experiment runner in four phases —
 trace construction, serial cold run, parallel cold run, fully-cached warm
 run — plus a single-simulation microbenchmark, and writes the numbers to
-a JSON file (default ``BENCH_PR2.json``)::
+a JSON file (``--out``, or ``$REPRO_BENCH_OUT``, default
+``BENCH.json``)::
 
     PYTHONPATH=src python benchmarks/perf_harness.py --smoke
     PYTHONPATH=src python benchmarks/perf_harness.py --jobs 8 --ops 20000
+
+``benchmarks/compare_bench.py`` diffs two such reports and fails on
+regressions (the CI perf gate; see docs/performance.md).
 
 The JSON records wall-clock seconds, simulations per second, and cache
 hits per phase (see docs/performance.md for how to read it).  ``--smoke``
@@ -114,17 +118,19 @@ def main(argv=None) -> int:
     parser.add_argument("--ops", type=int, default=None,
                         help="micro-ops per trace (default: 3000 smoke, "
                              "10000 full)")
-    parser.add_argument("--out", default="BENCH_PR2.json", metavar="FILE",
-                        help="output JSON path")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="output JSON path (default: $REPRO_BENCH_OUT "
+                             "or BENCH.json)")
     args = parser.parse_args(argv)
 
+    out = args.out or os.environ.get("REPRO_BENCH_OUT") or "BENCH.json"
     jobs = args.jobs if args.jobs else min(os.cpu_count() or 1, 8)
     ops = args.ops if args.ops else (3000 if args.smoke else 10_000)
     report = run_harness(ops=ops, jobs=jobs, smoke=args.smoke)
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
 
     phases = report["phases"]
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     print(f"  serial cold    {phases['serial_cold']['seconds']:8.2f}s "
           f"({phases['serial_cold']['sims_per_sec']} sims/s)")
     print(f"  parallel cold  {phases['parallel_cold']['seconds']:8.2f}s "

@@ -11,6 +11,47 @@ from typing import Dict, Mapping, Optional, Sequence
 
 FULL = "#"
 
+#: sparkline glyphs, shortest to tallest
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a numeric series as a one-line unicode sparkline.
+
+    Args:
+        values: The series (empty -> "").
+        width: Downsample to at most this many glyphs (bucket means).
+        lo / hi: Fix the scale endpoints (default: the series min/max).
+            A flat series renders at the bottom of the scale.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        # bucket means preserve the envelope shape when downsampling
+        step = len(series) / width
+        series = [
+            (lambda chunk: sum(chunk) / len(chunk))(
+                series[int(i * step):max(int((i + 1) * step), int(i * step) + 1)]
+            )
+            for i in range(width)
+        ]
+    floor = min(series) if lo is None else lo
+    ceil = max(series) if hi is None else hi
+    span = ceil - floor
+    if span <= 0:
+        return BLOCKS[0] * len(series)
+    top = len(BLOCKS) - 1
+    return "".join(
+        BLOCKS[min(top, max(0, int((v - floor) / span * top + 0.5)))]
+        for v in series
+    )
+
 
 def bar_chart(
     values: Mapping[str, float],

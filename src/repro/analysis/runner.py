@@ -30,6 +30,8 @@ Environment knobs:
 * ``REPRO_BENCH_TIMEOUT`` — per-task wall-clock timeout in seconds
   (default 0 = no timeout).
 * ``REPRO_BENCH_RETRIES`` — attempts after the first failure (default 2).
+* ``REPRO_RUN_LOG`` — path of a JSONL campaign run-log (see
+  :mod:`repro.telemetry.runlog`); empty/unset disables it.
 * ``REPRO_CHAOS`` — fault-injection spec for the chaos harness (see
   :mod:`repro.verify.chaos`); empty/unset means no injection.
 """
@@ -49,6 +51,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.config import CoreConfig, config_for
 from ..core.pipeline import SimulationDeadlock, simulate
 from ..core.stats import RESULT_SCHEMA_VERSION, SimResult
+from ..telemetry.runlog import RunLog
 from ..workloads.suite import SUITE_NAMES, get_trace
 
 DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
@@ -120,13 +123,16 @@ def _atomic_write_json(path: Path, payload: Dict) -> None:
 def _run_task(payload) -> Dict:
     """Pool worker: simulate one (workload, config, seed) tuple.
 
-    Module-level so it pickles; returns ``SimResult.to_dict()`` and, when
-    a cache directory is configured, publishes the entry atomically so
-    sibling workers and future runners share it.  With ``REPRO_CHAOS``
-    set, the chaos harness gets a chance to inject a fault (worker kill,
-    hang, error, wedged scheduler) before/instead of the real run.
+    Module-level so it pickles; returns an envelope carrying
+    ``SimResult.to_dict()`` plus the worker pid and wall-clock seconds
+    (for the campaign run-log) and, when a cache directory is
+    configured, publishes the entry atomically so sibling workers and
+    future runners share it.  With ``REPRO_CHAOS`` set, the chaos
+    harness gets a chance to inject a fault (worker kill, hang, error,
+    wedged scheduler) before/instead of the real run.
     """
     workload, config, seed, target_ops, cache_dir, key, attempt = payload
+    started = time.perf_counter()
     if os.environ.get("REPRO_CHAOS"):
         from ..verify import chaos
 
@@ -140,7 +146,11 @@ def _run_task(payload) -> Dict:
     data = result.to_dict()
     if cache_dir:
         _atomic_write_json(Path(cache_dir) / f"{key}.json", data)
-    return data
+    return {
+        "result": data,
+        "worker": os.getpid(),
+        "seconds": round(time.perf_counter() - started, 6),
+    }
 
 
 class ExperimentRunner:
@@ -155,6 +165,12 @@ class ExperimentRunner:
         task_timeout: Per-task wall-clock timeout (seconds) for parallel
             batches; ``None``/0 disables it.
         retries: Extra attempts a failing cell gets before quarantine.
+        run_log: Path of a JSONL campaign run-log (see :mod:`repro.
+            telemetry.runlog`); ``None`` uses ``$REPRO_RUN_LOG``, ""
+            disables it.
+        progress: Callable fed one-line heartbeat strings while a batch
+            executes (e.g. ``print``); ``None`` disables the heartbeat.
+        heartbeat_interval: Minimum seconds between heartbeats.
     """
 
     def __init__(
@@ -165,6 +181,9 @@ class ExperimentRunner:
         jobs: Optional[int] = None,
         task_timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        run_log: Optional[str] = None,
+        progress=None,
+        heartbeat_interval: float = 2.0,
     ):
         self.target_ops = target_ops
         self.seed = seed
@@ -196,6 +215,37 @@ class ExperimentRunner:
         self.retries_performed = 0
         self.timeouts = 0
         self.pool_restarts = 0
+        if run_log is None:
+            run_log = os.environ.get("REPRO_RUN_LOG", "")
+        self.run_log: Optional[RunLog] = RunLog(run_log) if run_log else None
+        self.progress = progress
+        self.heartbeat_interval = heartbeat_interval
+        self._last_heartbeat = 0.0
+
+    # ------------------------------------------------------------------
+    # campaign observability
+    # ------------------------------------------------------------------
+    def _log(self, event: str, **fields) -> None:
+        if self.run_log is not None:
+            self.run_log.log(event, **fields)
+
+    def _heartbeat(self, done: int, total: int, inflight: int,
+                   queued: int, force: bool = False) -> None:
+        """Emit a progress line + run-log record, rate-limited."""
+        if self.progress is None and self.run_log is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_heartbeat < self.heartbeat_interval:
+            return
+        self._last_heartbeat = now
+        self._log("heartbeat", done=done, total=total,
+                  inflight=inflight, queued=queued)
+        if self.progress is not None:
+            self.progress(
+                f"[runner] {done}/{total} done · {inflight} in flight · "
+                f"{queued} queued · {self.retries_performed} retried · "
+                f"{len(self.quarantined)} quarantined"
+            )
 
     # ------------------------------------------------------------------
     def _key(self, workload: str, config: CoreConfig, seed: int) -> str:
@@ -289,11 +339,20 @@ class ExperimentRunner:
         key = self._key(workload, config, seed)
         result = self._fetch_cached(key)
         if result is not None:
+            self._log("cache_hit", key=key, workload=workload,
+                      config=config.name, seed=seed)
             return result
+        self._log("start", key=key, workload=workload, config=config.name,
+                  seed=seed, attempt=0)
+        started = time.perf_counter()
         trace = get_trace(workload, self.target_ops, seed)
         result = simulate(trace, config)
         self.simulations_run += 1
         self._store(key, result)
+        self._log("finish", key=key, workload=workload, config=config.name,
+                  seed=seed, attempt=0,
+                  seconds=round(time.perf_counter() - started, 6),
+                  worker=os.getpid())
         return result
 
     # ------------------------------------------------------------------
@@ -310,6 +369,8 @@ class ExperimentRunner:
         )
         self.quarantined[key] = failed
         self.failures.append(failed)
+        self._log("quarantine", key=key, kind=kind, error=error,
+                  attempts=attempts)
         return failed
 
     @staticmethod
@@ -366,16 +427,32 @@ class ExperimentRunner:
         retries = self.retries if retries is None else max(0, retries)
 
         pending: Dict[str, Tuple[str, CoreConfig, int]] = {}
+        logged_hits = set()
         for key, triple in zip(keys, norm):
             if key in pending or key in self.quarantined:
                 continue
             if self._fetch_cached(key) is None:
                 pending[key] = triple
+            elif key not in logged_hits:
+                logged_hits.add(key)
+                self._log("cache_hit", key=key, workload=triple[0],
+                          config=triple[1].name, seed=triple[2])
 
-        if pending and jobs > 1 and len(pending) > 1:
+        parallel = bool(pending) and jobs > 1 and len(pending) > 1
+        self._log("campaign_start", tasks=len(norm), pending=len(pending),
+                  jobs=jobs, mode="parallel" if parallel else "serial")
+        campaign_started = time.perf_counter()
+        sims_before, hits_before = self.simulations_run, self.cache_hits
+        if parallel:
             self._run_parallel(pending, jobs, timeout, retries)
         elif pending:
             self._run_serial(pending, retries)
+        self._log("campaign_end",
+                  seconds=round(time.perf_counter() - campaign_started, 6),
+                  simulations=self.simulations_run - sims_before,
+                  cache_hits=self.cache_hits - hits_before,
+                  retries=self.retries_performed, timeouts=self.timeouts,
+                  quarantined=len(self.quarantined))
 
         out: List[Union[SimResult, FailedResult]] = []
         for key in keys:
@@ -400,12 +477,20 @@ class ExperimentRunner:
         finished before it is already merged into the cache by
         :meth:`_finish`, so an interrupted campaign resumes where it
         stopped."""
-        for key, (workload, config, seed) in pending.items():
+        total = len(pending)
+        for done, (key, (workload, config, seed)) in enumerate(pending.items()):
             attempt = 0
             while True:
+                self._log("start", key=key, workload=workload,
+                          config=config.name, seed=seed, attempt=attempt)
+                started = time.perf_counter()
                 try:
                     trace = get_trace(workload, self.target_ops, seed)
                     self._finish(key, simulate(trace, config))
+                    self._log("finish", key=key, workload=workload,
+                              config=config.name, seed=seed, attempt=attempt,
+                              seconds=round(time.perf_counter() - started, 6),
+                              worker=os.getpid())
                     break
                 except KeyboardInterrupt:
                     raise
@@ -414,10 +499,13 @@ class ExperimentRunner:
                     attempt += 1
                     if kind != "deadlock" and attempt <= retries:
                         self.retries_performed += 1
+                        self._log("retry", key=key, attempt=attempt,
+                                  kind=kind, error=error)
                         continue
                     self._quarantine(key, (workload, config, seed), kind,
                                      error, attempt, snapshot)
                     break
+            self._heartbeat(done + 1, total, 0, total - done - 1)
 
     def _run_parallel(self, pending: Dict[str, Tuple[str, CoreConfig, int]],
                       jobs: int, timeout: Optional[float],
@@ -454,6 +542,8 @@ class ExperimentRunner:
                             snapshot: Optional[Dict] = None) -> None:
             if kind != "deadlock" and attempt < retries:
                 self.retries_performed += 1
+                self._log("retry", key=key, attempt=attempt + 1,
+                          kind=kind, error=error)
                 queue.append((key, attempt + 1))
             else:
                 self._quarantine(key, pending[key], kind, error,
@@ -490,6 +580,9 @@ class ExperimentRunner:
                     pool = ProcessPoolExecutor(max_workers=max_workers)
                 while queue and len(inflight) < 2 * max_workers:
                     key, attempt = queue.popleft()
+                    workload, config, seed = pending[key]
+                    self._log("submit", key=key, workload=workload,
+                              config=config.name, seed=seed, attempt=attempt)
                     future = pool.submit(_run_task, payload(key, attempt))
                     deadline = (time.monotonic() + timeout) if timeout else None
                     inflight[future] = (key, deadline, attempt)
@@ -499,7 +592,7 @@ class ExperimentRunner:
                 for future in done:
                     key, _, attempt = inflight.pop(future)
                     try:
-                        data = future.result()
+                        envelope = future.result()
                     except BrokenProcessPool:
                         fail_or_requeue(key, attempt, "worker-lost",
                                         "worker process died (BrokenProcessPool)")
@@ -510,12 +603,25 @@ class ExperimentRunner:
                         kind, error, snapshot = self._classify_failure(exc)
                         fail_or_requeue(key, attempt, kind, error, snapshot)
                     else:
-                        self._finish(key, SimResult.from_dict(data))
+                        self._finish(key, SimResult.from_dict(envelope["result"]))
+                        workload, config, seed = pending[key]
+                        self._log("finish", key=key, workload=workload,
+                                  config=config.name, seed=seed,
+                                  attempt=attempt,
+                                  seconds=envelope["seconds"],
+                                  worker=envelope["worker"])
+                finished = sum(
+                    1 for k in pending
+                    if k in self._memory or k in self.quarantined
+                )
+                self._heartbeat(finished, len(pending), len(inflight),
+                                len(queue))
                 if broke:
                     abandon_inflight(culprits=())
                     kill_pool()
                     breaks += 1
                     self.pool_restarts += 1
+                    self._log("pool_restart", restarts=self.pool_restarts)
                     time.sleep(BACKOFF_BASE * (2 ** min(breaks - 1, 6)))
                     continue
                 if timeout:
@@ -529,6 +635,8 @@ class ExperimentRunner:
                         for future in expired:
                             key, _, attempt = inflight[future]
                             self.timeouts += 1
+                            self._log("timeout", key=key, attempt=attempt,
+                                      timeout_s=timeout)
                             fail_or_requeue(
                                 key, attempt, "timeout",
                                 f"exceeded {timeout:g}s wall-clock timeout")
@@ -537,6 +645,7 @@ class ExperimentRunner:
                         kill_pool()
                         breaks += 1
                         self.pool_restarts += 1
+                        self._log("pool_restart", restarts=self.pool_restarts)
                         time.sleep(BACKOFF_BASE * (2 ** min(breaks - 1, 6)))
         except KeyboardInterrupt:
             kill_pool()

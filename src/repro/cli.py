@@ -11,6 +11,13 @@ Commands:
 * ``trace WORKLOAD ARCH --trace-out F`` — cycle-level pipeline trace:
   writes a Chrome trace-event JSON (or Konata log) and prints the
   stall-attribution and occupancy breakdowns (see docs/observability.md).
+* ``metrics WORKLOAD ARCH`` — hardware-counter metrics registry plus
+  the interval time-series sampler: sparkline tables of IPC /
+  occupancy / queue depth / stall-class history, top counters and
+  histograms; ``--csv`` exports the samples, ``--trace-out`` writes a
+  Chrome trace with counter ("C") tracks overlaid
+  (docs/observability.md).  ``simulate --metrics`` prints the same
+  tables after the normal summary.
 * ``fuzz`` — differential fuzzing across the scheduler zoo with
   per-cycle invariants and ddmin-shrunken repros (docs/correctness.md);
   the global ``--ops`` caps each generated program's dynamic length and
@@ -27,8 +34,12 @@ results are identical to serial; see docs/performance.md).
 runs: cells that crash, hang or raise are retried and eventually
 quarantined instead of sinking the campaign (batch commands then report
 partial results and exit non-zero; see docs/robustness.md).  Traced
-runs bypass the cache (``simulate``/``compare`` also accept
-``--trace-out``).
+and metrics-instrumented runs bypass the cache (``simulate``/
+``compare`` also accept ``--trace-out``).  ``--run-log FILE`` (or
+``$REPRO_RUN_LOG``) appends a structured JSONL campaign log —
+submit/start/finish/retry/timeout/quarantine events with durations and
+worker pids — and ``--progress`` prints a live heartbeat line to
+stderr during batch runs (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -75,6 +86,12 @@ def _make_parser() -> argparse.ArgumentParser:
                         help="retry budget per failing cell before "
                              "quarantine (default: $REPRO_BENCH_RETRIES "
                              "or 2)")
+    parser.add_argument("--run-log", default=None, metavar="FILE",
+                        help="append a structured JSONL campaign run-log "
+                             "here (default: $REPRO_RUN_LOG)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print live heartbeat progress lines to "
+                             "stderr during batch runs")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the kernel suite")
@@ -87,6 +104,13 @@ def _make_parser() -> argparse.ArgumentParser:
                      help="also write a cycle-level pipeline trace here")
     sim.add_argument("--trace-format", choices=("chrome", "konata"),
                      default=None, help="trace format (default: by extension)")
+    sim.add_argument("--metrics", action="store_true",
+                     help="enable the metrics registry + interval sampler "
+                          "and print their tables (bypasses the cache)")
+    sim.add_argument("--sample-interval", type=int, default=None,
+                     metavar="N",
+                     help="cycles between time-series samples "
+                          "(default 1000; implies --metrics)")
 
     cmp_cmd = sub.add_parser("compare", help="compare designs on a workload")
     cmp_cmd.add_argument("workload", choices=sorted(KERNELS))
@@ -110,6 +134,24 @@ def _make_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--trace-format", choices=("chrome", "konata"),
                            default=None,
                            help="trace format (default: by extension)")
+
+    met = sub.add_parser(
+        "metrics",
+        help="hardware-counter metrics + interval time-series for one "
+             "run (bypasses the cache; see docs/observability.md)")
+    met.add_argument("workload", choices=sorted(KERNELS))
+    met.add_argument("arch", choices=_ALL_ARCHES)
+    met.add_argument("--sample-interval", type=int, default=1000,
+                     metavar="N",
+                     help="cycles between time-series samples "
+                          "(default 1000)")
+    met.add_argument("--csv", default=None, metavar="FILE",
+                     help="write the interval samples as CSV")
+    met.add_argument("--json-out", default=None, metavar="FILE",
+                     help="write the metrics snapshot + samples as JSON")
+    met.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome trace with counter ('C') "
+                          "tracks overlaid on the pipeline events")
 
     suite = sub.add_parser("suite", help="run the whole suite on one design")
     suite.add_argument("arch", choices=_ALL_ARCHES)
@@ -188,10 +230,15 @@ def _make_parser() -> argparse.ArgumentParser:
 
 def _runner(args) -> ExperimentRunner:
     cache = "" if args.no_cache else None
+    progress = None
+    if args.progress:
+        # heartbeat goes to stderr so piped table output stays clean
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
     return ExperimentRunner(target_ops=args.ops, seed=args.seed,
                             cache_dir=cache, jobs=args.jobs,
                             task_timeout=args.task_timeout,
-                            retries=args.retries)
+                            retries=args.retries,
+                            run_log=args.run_log, progress=progress)
 
 
 def _cmd_workloads(args) -> int:
@@ -213,7 +260,7 @@ def _cmd_configs(args) -> int:
     return 0
 
 
-def _traced_run(workload: str, arch: str, args):
+def _traced_run(workload: str, arch: str, args, metrics=None, sampler=None):
     """Run one simulation with telemetry on (bypasses the result cache)."""
     from .core.pipeline import Pipeline
     from .telemetry import StallAttribution, Tracer
@@ -222,12 +269,13 @@ def _traced_run(workload: str, arch: str, args):
     cfg = config_for(arch, width=args.width)
     trace = get_trace(workload, args.ops, args.seed)
     tracer, attribution = Tracer(), StallAttribution()
-    result = Pipeline(trace, cfg, tracer=tracer, attribution=attribution).run()
+    result = Pipeline(trace, cfg, tracer=tracer, attribution=attribution,
+                      metrics=metrics, sampler=sampler).run()
     return result, tracer, attribution
 
 
 def _write_trace_file(tracer, path: str, fmt: Optional[str], label: str,
-                      metadata=None) -> None:
+                      metadata=None, samples=None) -> None:
     from pathlib import Path
 
     from .telemetry import write_chrome_trace, write_konata
@@ -237,9 +285,11 @@ def _write_trace_file(tracer, path: str, fmt: Optional[str], label: str,
         fmt = "konata" if path.endswith((".kanata", ".konata", ".log")) \
             else "chrome"
     if fmt == "konata":
+        # Konata has no counter-track concept; samples are chrome-only
         write_konata(tracer, path)
     else:
-        write_chrome_trace(tracer, path, label=label, metadata=metadata)
+        write_chrome_trace(tracer, path, label=label, metadata=metadata,
+                           samples=samples)
     print(f"wrote {fmt} trace: {path}")
 
 
@@ -266,15 +316,25 @@ def _print_stall_tables(result) -> None:
 
 def _cmd_simulate(args) -> int:
     cfg = config_for(args.arch, width=args.width)
-    if args.trace_out:
-        result, tracer, _ = _traced_run(args.workload, args.arch, args)
-        # write the file before the tables so a closed stdout pipe
-        # (e.g. `... | head`) can't lose the trace
-        _write_trace_file(
-            tracer, args.trace_out, args.trace_format,
-            label=f"{args.workload}/{cfg.name}",
-            metadata={"workload": args.workload, "config": cfg.name},
-        )
+    metrics_on = args.metrics or args.sample_interval is not None
+    registry = sampler = None
+    if metrics_on:
+        from .telemetry import IntervalSampler, MetricsRegistry
+
+        registry = MetricsRegistry()
+        sampler = IntervalSampler(args.sample_interval or 1000)
+    if args.trace_out or metrics_on:
+        result, tracer, _ = _traced_run(args.workload, args.arch, args,
+                                        metrics=registry, sampler=sampler)
+        if args.trace_out:
+            # write the file before the tables so a closed stdout pipe
+            # (e.g. `... | head`) can't lose the trace
+            _write_trace_file(
+                tracer, args.trace_out, args.trace_format,
+                label=f"{args.workload}/{cfg.name}",
+                metadata={"workload": args.workload, "config": cfg.name},
+                samples=result.interval_samples,
+            )
     else:
         runner = _runner(args)
         result = runner.run_arch(args.workload, args.arch, width=args.width)
@@ -315,6 +375,131 @@ def _cmd_simulate(args) -> int:
     ))
     if args.trace_out:
         _print_stall_tables(result)
+    if metrics_on:
+        _print_metrics_tables(result, registry)
+    return 0
+
+
+def _print_metrics_tables(result, registry) -> None:
+    """Sparkline time-series, top counters and histograms for one run."""
+    from .analysis.plotting import sparkline
+    from .telemetry import series
+
+    samples = result.interval_samples
+    if samples:
+        keys = ["ipc", "occupancy.rob", "occupancy.sched",
+                "occupancy.decode_queue", "occupancy.lq", "occupancy.sq"]
+        keys += [f"queues.{name}"
+                 for name in sorted(samples[-1].get("queues", {}))]
+        rows = []
+        for key in keys:
+            data = series(samples, key)
+            rows.append([key, sparkline(data, width=40),
+                         round(min(data), 3), round(max(data), 3),
+                         round(data[-1], 3)])
+        print()
+        print(format_table(
+            ["series", "history", "min", "max", "last"], rows,
+            title=f"interval time-series ({len(samples)} samples, "
+                  f"every {result.sample_interval} cycles)",
+        ))
+        stalls = samples[-1].get("stall_fractions") or {}
+        rows = []
+        for category in stalls:
+            data = series(samples, f"stall_fractions.{category}")
+            if max(data) <= 0:
+                continue
+            rows.append([category,
+                         sparkline(data, width=40, lo=0.0, hi=1.0),
+                         f"{100.0 * data[-1]:.1f}%"])
+        if rows:
+            print()
+            print(format_table(
+                ["stall class", "history (0..1 scale)", "last"], rows,
+                title="per-interval stall-class fractions",
+            ))
+    snap = registry.snapshot()
+    counters = sorted(
+        ((name, s["value"]) for name, s in snap.items()
+         if s["type"] == "counter"),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
+    if counters:
+        print()
+        print(format_table(
+            ["counter", "value"], [list(kv) for kv in counters[:15]],
+            title=f"top counters ({len(counters)} registered)",
+        ))
+    histograms = [(name, s) for name, s in snap.items()
+                  if s["type"] == "histogram"]
+    if histograms:
+        rows = [[name, s["count"], round(s["mean"], 2),
+                 sparkline(list(s["buckets"].values()))]
+                for name, s in histograms]
+        bounds = list(histograms[0][1]["buckets"])
+        print()
+        print(format_table(
+            ["histogram", "count", "mean", "distribution"], rows,
+            title=f"histograms (buckets: {' '.join(bounds)})",
+        ))
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .telemetry import IntervalSampler, MetricsRegistry
+
+    registry = MetricsRegistry()
+    sampler = IntervalSampler(args.sample_interval)
+    result, tracer, _ = _traced_run(args.workload, args.arch, args,
+                                    metrics=registry, sampler=sampler)
+    cfg = config_for(args.arch, width=args.width)
+    samples = result.interval_samples
+    # write artefacts before the tables so a closed stdout pipe
+    # (e.g. `... | head`) can't lose them
+    if args.trace_out:
+        _write_trace_file(
+            tracer, args.trace_out, "chrome",
+            label=f"{args.workload}/{cfg.name}",
+            metadata={"workload": args.workload, "config": cfg.name},
+            samples=samples,
+        )
+    if args.csv:
+        from .telemetry import write_samples_csv
+
+        Path(args.csv).resolve().parent.mkdir(parents=True, exist_ok=True)
+        write_samples_csv(samples, args.csv)
+        print(f"wrote samples CSV: {args.csv}")
+    if args.json_out:
+        payload = {
+            "workload": args.workload,
+            "config": cfg.name,
+            "cycles": result.cycles,
+            "committed": result.stats.committed,
+            "sample_interval": result.sample_interval,
+            "metrics": registry.snapshot(),
+            "samples": samples,
+        }
+        target = Path(args.json_out).resolve()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote metrics JSON: {args.json_out}")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["workload", args.workload],
+            ["config", cfg.name],
+            ["cycles", result.cycles],
+            ["committed", result.stats.committed],
+            ["IPC", round(result.ipc, 3)],
+            ["samples", len(samples)],
+            ["sample interval", result.sample_interval],
+            ["metrics registered", len(registry)],
+        ],
+        title="instrumented simulation",
+    ))
+    _print_metrics_tables(result, registry)
     return 0
 
 
@@ -370,7 +555,19 @@ def _cmd_compare(args) -> int:
 
 
 def _report_failures(runner: ExperimentRunner) -> int:
-    """Print the quarantine summary; non-zero when cells were lost."""
+    """Print the quarantine summary; non-zero when cells were lost.
+
+    Also surfaces the cache-health counter: corrupt / unreadable disk
+    cache entries are tolerated (treated as misses and re-simulated)
+    but worth a warning — they usually mean a crashed writer or a
+    schema change invalidated part of the cache.
+    """
+    if runner.cache_warnings:
+        what = ("1 corrupt/unreadable cache entry treated as a miss"
+                if runner.cache_warnings == 1 else
+                f"{runner.cache_warnings} corrupt/unreadable cache "
+                "entries treated as misses")
+        print(f"warning: {what} (re-simulated)", file=sys.stderr)
     summary = runner.failure_summary()
     if not summary:
         return 0
@@ -563,6 +760,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "configs": _cmd_configs,
     "simulate": _cmd_simulate,
+    "metrics": _cmd_metrics,
     "compare": _cmd_compare,
     "suite": _cmd_suite,
     "trace": _cmd_trace,

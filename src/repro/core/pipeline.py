@@ -34,6 +34,7 @@ from ..memory.cache import LINE_SIZE
 from ..memory.hierarchy import CODE_BASE, MemoryHierarchy
 from ..rename.rename_unit import RenameUnit
 from ..telemetry.attribution import StallAttribution
+from ..telemetry.metrics import IntervalSampler, MetricsRegistry
 from ..telemetry.tracer import Tracer
 from ..workloads.trace import Trace
 from .config import CoreConfig
@@ -104,6 +105,13 @@ class Pipeline:
         attribution: Optional :class:`~repro.telemetry.attribution.
             StallAttribution` fed once per cycle; its totals land on
             ``SimResult.stats.stall_cycles`` / ``.occupancy``.
+        metrics: Optional :class:`~repro.telemetry.metrics.
+            MetricsRegistry` receiving hardware-style event counters
+            from the pipeline, scheduler, LSQ and rename unit (same
+            nullable-reference pattern as the tracer).
+        sampler: Optional :class:`~repro.telemetry.metrics.
+            IntervalSampler`; its every-N-cycles time-series lands on
+            ``SimResult.interval_samples``.
     """
 
     def __init__(
@@ -115,17 +123,23 @@ class Pipeline:
         record_commits: bool = False,
         tracer: Optional[Tracer] = None,
         attribution: Optional[StallAttribution] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        sampler: Optional[IntervalSampler] = None,
     ):
         self.trace = trace
         self.config = config
         self.tracer = tracer
         self.attribution = attribution
+        self.metrics = metrics
+        self.sampler = sampler
         self.hier = MemoryHierarchy(config.hierarchy)
         self.frontend = FrontEnd()
         self.rename = RenameUnit(config.phys_int, config.phys_fp)
+        self.rename.metrics = metrics
         self.ready = ReadyFile(self.rename.num_phys)
         self.lsu = LoadStoreUnit(config.lq_size, config.sq_size)
         self.lsu.tracer = tracer
+        self.lsu.metrics = metrics
         self.mdp: Optional[StoreSetPredictor] = (
             StoreSetPredictor() if config.mdp_enabled else None
         )
@@ -234,6 +248,8 @@ class Pipeline:
                 issued_before = self.stats.issued
                 last_issue_cycle = self.cycle
             self.cycle += 1
+            if self.sampler is not None:
+                self.sampler.tick(self)
             if deadlock_cycles and self.cycle - last_commit_cycle > deadlock_cycles:
                 raise self._deadlock(
                     f"no commit since cycle {last_commit_cycle} "
@@ -251,12 +267,20 @@ class Pipeline:
         self.stats.branch_lookups = self.frontend.lookups
         for name, count in self.hier.events.items():
             self.energy[name] += count
+        if self.sampler is not None:
+            self.sampler.finalize(self)
         return SimResult(
             workload=self.trace.name,
             config_name=self.config.name,
             stats=self.stats,
             memory_stats=self.hier.stats(),
             frequency_ghz=self.config.frequency_ghz,
+            interval_samples=(
+                self.sampler.samples if self.sampler is not None else []
+            ),
+            sample_interval=(
+                self.sampler.interval if self.sampler is not None else 0
+            ),
         )
 
     def _deadlock(self, reason: str) -> DeadlockError:
@@ -346,6 +370,8 @@ class Pipeline:
             self.inflight.pop(seq, None)
             if self.record_commits:
                 self.commit_log.append(ifop.op)
+            if self.metrics is not None:
+                self.metrics.count("pipeline.commit_ops")
             self.commit_count += 1
             self.stats.committed += 1
 
@@ -465,6 +491,9 @@ class Pipeline:
         if dep is not None and dep in self._store_issued:
             ready_at = max(ready_at, self._store_issued[dep])
         ifop.ready_cycle = min(ready_at, cycle)
+        if self.metrics is not None:
+            self.metrics.count("pipeline.issue_ops")
+            self.metrics.count(f"pipeline.issue_port.{ifop.port}")
         if self.tracer is not None:
             self.tracer.emit(cycle, ifop.seq, "issue", f"port{ifop.port}")
             if not (ifop.is_load or ifop.is_store):
@@ -493,23 +522,33 @@ class Pipeline:
         dispatched = 0
         queue = self.dispatch_queue
         attribution = self.attribution
+        metrics = self.metrics
         while queue and dispatched < self.config.decode_width:
             available_at, ifop = queue[0]
             if available_at > cycle or self.rob.full:
-                if self.rob.full and attribution is not None:
-                    attribution.note_dispatch_block("rob_full")
+                if self.rob.full:
+                    if attribution is not None:
+                        attribution.note_dispatch_block("rob_full")
+                    if metrics is not None:
+                        metrics.count("pipeline.dispatch_block.rob_full")
                 return
             if ifop.is_load and self.lsu.lq_full():
                 if attribution is not None:
                     attribution.note_dispatch_block("lq_full")
+                if metrics is not None:
+                    metrics.count("pipeline.dispatch_block.lq_full")
                 return
             if ifop.is_store and self.lsu.sq_full():
                 if attribution is not None:
                     attribution.note_dispatch_block("sq_full")
+                if metrics is not None:
+                    metrics.count("pipeline.dispatch_block.sq_full")
                 return
             if not self.scheduler.can_accept(ifop):
                 if attribution is not None:
                     attribution.note_dispatch_block("iq_full")
+                if metrics is not None:
+                    metrics.count("pipeline.dispatch_block.iq_full")
                 return
             queue.popleft()
             ifop.dispatch_cycle = cycle
@@ -539,6 +578,8 @@ class Pipeline:
             self.scheduler.insert(ifop, cycle)
             self.energy["dispatch"] += 1
             self.energy["rob_write"] += 1
+            if metrics is not None:
+                metrics.count("pipeline.dispatch_ops")
             dispatched += 1
 
     # ==================================================================
@@ -578,6 +619,8 @@ class Pipeline:
                 return
             op = ifop.op
             if not self.rename.can_rename(op):
+                if self.metrics is not None:
+                    self.metrics.count("pipeline.rename_stall")
                 return  # stall until physical registers free up
             queue.popleft()
             rename_rec = self.rename.rename(op)
@@ -626,6 +669,8 @@ class Pipeline:
                 self.tracer.emit(cycle, op.seq, "fetch")
             self.decode_queue.append(ifop)
             self.energy["fetch"] += 1
+            if self.metrics is not None:
+                self.metrics.count("pipeline.fetch_ops")
             self.fetch_index += 1
             self.stats.fetched += 1
             fetched += 1
@@ -650,6 +695,8 @@ class Pipeline:
         direction_ok = prediction.taken == bool(op.taken)
         if not direction_ok:
             # full misprediction: fetch stops until the branch executes
+            if self.metrics is not None:
+                self.metrics.count("pipeline.branch_mispredicts")
             self.stats.branch_mispredicts += 1
             ifop.mispredicted = True
             self.pending_redirect = ifop.seq
@@ -667,6 +714,12 @@ class Pipeline:
     def _squash(self, from_seq: int) -> None:
         """Squash every op with seq >= ``from_seq`` and refetch."""
         self.stats.flushes += 1
+        if self.metrics is not None:
+            self.metrics.count("pipeline.squashes")
+            self.metrics.observe(
+                "pipeline.squash_depth",
+                sum(1 for seq in self.inflight if seq >= from_seq),
+            )
         if self.tracer is not None:
             for seq in self.inflight:
                 if seq >= from_seq:
@@ -736,7 +789,12 @@ def simulate(
     max_cycles: int = 50_000_000,
     tracer: Optional[Tracer] = None,
     attribution: Optional[StallAttribution] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    sampler: Optional[IntervalSampler] = None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Pipeline` and run it."""
-    pipeline = Pipeline(trace, config, tracer=tracer, attribution=attribution)
+    pipeline = Pipeline(
+        trace, config, tracer=tracer, attribution=attribution,
+        metrics=metrics, sampler=sampler,
+    )
     return pipeline.run(max_cycles=max_cycles)

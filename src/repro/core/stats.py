@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .ifop import InFlightOp
 
@@ -25,7 +25,8 @@ SEGMENTS = ("decode_to_dispatch", "dispatch_to_ready", "ready_to_issue")
 #: Version of the serialized :class:`SimResult` layout.  Cache layers mix
 #: this into their keys so on-disk entries self-invalidate whenever the
 #: result schema changes (bump it when adding/removing fields).
-RESULT_SCHEMA_VERSION = 2
+#: v3: SimResult grew ``interval_samples`` / ``sample_interval``.
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -151,6 +152,13 @@ class SimResult:
     stats: SimStats
     memory_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     frequency_ghz: float = 3.4
+    #: every-N-cycles time-series from the
+    #: :class:`~repro.telemetry.metrics.IntervalSampler`; empty unless
+    #: the run sampled.  The last sample's cumulative fields equal the
+    #: final :class:`SimStats` values.
+    interval_samples: List[Dict] = field(default_factory=list)
+    #: the sampler's N (0 when the run did not sample)
+    sample_interval: int = 0
 
     #: Always ``True``; the counterpart
     #: :class:`~repro.analysis.runner.FailedResult` carries ``False``, so
@@ -189,6 +197,8 @@ class SimResult:
             "stats": self.stats.to_dict(),
             "memory_stats": self.memory_stats,
             "frequency_ghz": self.frequency_ghz,
+            "interval_samples": self.interval_samples,
+            "sample_interval": self.sample_interval,
         }
 
     @classmethod
@@ -199,4 +209,6 @@ class SimResult:
             stats=SimStats.from_dict(data["stats"]),
             memory_stats=data["memory_stats"],
             frequency_ghz=data["frequency_ghz"],
+            interval_samples=data.get("interval_samples", []),
+            sample_interval=data.get("sample_interval", 0),
         )

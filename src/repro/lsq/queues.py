@@ -59,8 +59,9 @@ class LoadStoreUnit:
         self.forwards = 0
         self.violations = 0
         self.searches = 0
-        #: nullable telemetry sink; the pipeline wires its own tracer here
+        #: nullable telemetry sinks; the pipeline wires its own here
         self.tracer = None
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # allocation (dispatch)
@@ -95,6 +96,8 @@ class LoadStoreUnit:
     def load_executing(self, seq: int, addr: int, cycle: int) -> ForwardResult:
         """A load's address is ready: search the SQ for a forwarding source."""
         self.searches += 1
+        if self.metrics is not None:
+            self.metrics.count("lsq.searches")
         entry = self._loads[seq]
         entry.addr = addr
         best: Optional[StoreEntry] = None
@@ -104,6 +107,8 @@ class LoadStoreUnit:
                     best = store
         if best is not None:
             self.forwards += 1
+            if self.metrics is not None:
+                self.metrics.count("lsq.forwards")
             if self.tracer is not None:
                 self.tracer.emit(cycle, seq, "forward", f"from:{best.seq}")
             # data may not be produced yet; forwarding completes then
@@ -140,6 +145,8 @@ class LoadStoreUnit:
         ]
         if violators:
             self.violations += len(violators)
+            if self.metrics is not None:
+                self.metrics.count("lsq.violations", len(violators))
             if self.tracer is not None:
                 for load_seq in violators:
                     self.tracer.emit(

@@ -143,6 +143,8 @@ class BallerinoScheduler(SchedulerBase):
             self.outcomes[f"alloc_{suffix}"] += 1
         else:
             self.outcomes[f"stall_{suffix}"] += 1
+        if self.metrics is not None:
+            self.metrics.count(f"sched.steer.{decision.outcome}_{suffix}")
 
     def _apply_steer(self, ifop: InFlightOp, decision: SteerDecision) -> None:
         piq = self.piqs[decision.target]
@@ -304,6 +306,12 @@ class BallerinoScheduler(SchedulerBase):
 
     def occupancy(self) -> int:
         return len(self.siq) + sum(piq.occupancy() for piq in self.piqs)
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        out = {"siq": len(self.siq)}
+        for index, piq in enumerate(self.piqs):
+            out[f"piq{index}"] = piq.occupancy()
+        return out
 
     def extra_stats(self) -> Dict[str, float]:
         stats: Dict[str, float] = dict(self.outcomes)

@@ -45,6 +45,8 @@ class SchedulerBase:
     def __init__(self, core: "Pipeline"):
         self.core = core
         self.energy = core.energy
+        # getattr: unit tests drive schedulers with stripped-down fake cores
+        self.metrics = getattr(core, "metrics", None)
 
     # -- telemetry -----------------------------------------------------
     def trace_steer(self, ifop: InFlightOp, cause: str) -> None:
@@ -52,10 +54,14 @@ class SchedulerBase:
 
         ``cause`` names the movement, e.g. ``dc->piq3.0`` or ``pass->q2``.
         """
-        # getattr: unit tests drive schedulers with stripped-down fake cores
         tracer = getattr(self.core, "tracer", None)
         if tracer is not None:
             tracer.emit(self.core.cycle, ifop.seq, "steer", cause)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a hardware counter (no-op when metrics are off)."""
+        if self.metrics is not None:
+            self.metrics.count(name, n)
 
     # -- dispatch ------------------------------------------------------
     def can_accept(self, ifop: InFlightOp) -> bool:
@@ -103,6 +109,15 @@ class SchedulerBase:
     # -- reporting -----------------------------------------------------
     def occupancy(self) -> int:
         raise NotImplementedError
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        """Instantaneous per-queue depths for the interval sampler.
+
+        Partitioned designs override this with one entry per internal
+        queue (``siq``/``piq0``/...); the default reports the whole
+        window as a single queue.
+        """
+        return {"window": self.occupancy()}
 
     def extra_stats(self) -> Dict[str, float]:
         return {}

@@ -165,6 +165,9 @@ class CasinoScheduler(SchedulerBase):
     def occupancy(self) -> int:
         return sum(len(q) for q in self.queues)
 
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {f"q{i}": len(q) for i, q in enumerate(self.queues)}
+
     def extra_stats(self) -> Dict[str, float]:
         stats = {f"issued_q{i}": n for i, n in enumerate(self.issued_from)}
         stats["passes"] = self.passes

@@ -99,6 +99,8 @@ class CESScheduler(SchedulerBase):
             self.outcomes[f"alloc_{suffix}"] += 1
         else:
             self.outcomes[f"stall_{suffix}"] += 1
+        if self.metrics is not None:
+            self.metrics.count(f"sched.steer.{decision.outcome}_{suffix}")
 
     def can_accept(self, ifop: InFlightOp) -> bool:
         decision = self._decide(ifop, self.core.cycle)
@@ -190,6 +192,9 @@ class CESScheduler(SchedulerBase):
 
     def occupancy(self) -> int:
         return sum(len(q) for q in self.piqs)
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {f"piq{i}": len(q) for i, q in enumerate(self.piqs)}
 
     def extra_stats(self) -> Dict[str, float]:
         stats: Dict[str, float] = dict(self.outcomes)

@@ -213,6 +213,13 @@ class DNBScheduler(SchedulerBase):
             + self.ooo.occupancy()
         )
 
+    def queue_occupancy(self) -> Dict[str, int]:
+        out = {"bypass": len(self.bypass)}
+        for index, queue in enumerate(self.delay):
+            out[f"delay{index}"] = len(queue)
+        out["ooo"] = self.ooo.occupancy()
+        return out
+
     def extra_stats(self) -> Dict[str, float]:
         return {
             "issued_bypass": self.issued_bypass,

@@ -123,6 +123,9 @@ class FXAScheduler(SchedulerBase):
     def occupancy(self) -> int:
         return len(self._ixu) + self.backend.occupancy()
 
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {"ixu": len(self._ixu), "backend": self.backend.occupancy()}
+
     def extra_stats(self) -> Dict[str, float]:
         return {
             "ixu_executed": self.ixu_executed,

@@ -129,3 +129,6 @@ class OutOfOrderScheduler(SchedulerBase):
 
     def occupancy(self) -> int:
         return self._count
+
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {"iq": self._count}

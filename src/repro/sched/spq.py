@@ -156,6 +156,9 @@ class SPQScheduler(SchedulerBase):
     def occupancy(self) -> int:
         return sum(len(q) for q in self.queues)
 
+    def queue_occupancy(self) -> Dict[str, int]:
+        return {f"q{i}": len(q) for i, q in enumerate(self.queues)}
+
     def extra_stats(self) -> Dict[str, float]:
         return {
             "issued_total": self.issued_total,

@@ -22,10 +22,23 @@ check; the measured overhead is below the 3% budget (see
 
 from .attribution import CATEGORIES, OCCUPANCY_KEYS, StallAttribution
 from .export import (
+    chrome_counter_events,
     read_chrome_trace,
     write_chrome_trace,
     write_konata,
 )
+from .metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    IntervalSampler,
+    MetricsRegistry,
+    flatten_sample,
+    samples_to_csv,
+    series,
+    write_samples_csv,
+)
+from .runlog import EVENT_FIELDS, RunLog, read_run_log, validate_event
 from .snapshot import capture_snapshot, describe_head, render_snapshot
 from .tracer import (
     AUX_STAGES,
@@ -39,17 +52,31 @@ from .tracer import (
 __all__ = [
     "AUX_STAGES",
     "CATEGORIES",
+    "CounterMetric",
+    "EVENT_FIELDS",
+    "GaugeMetric",
+    "HistogramMetric",
+    "IntervalSampler",
     "LIFECYCLE",
     "LIFECYCLE_RANK",
+    "MetricsRegistry",
     "OCCUPANCY_KEYS",
     "OpInfo",
+    "RunLog",
     "StallAttribution",
     "TraceEvent",
     "Tracer",
     "capture_snapshot",
+    "chrome_counter_events",
     "describe_head",
+    "flatten_sample",
     "read_chrome_trace",
+    "read_run_log",
     "render_snapshot",
+    "samples_to_csv",
+    "series",
+    "validate_event",
     "write_chrome_trace",
     "write_konata",
+    "write_samples_csv",
 ]

@@ -55,13 +55,68 @@ def _label(tracer: Tracer, seq: int) -> str:
     return f"{info.opcode} @pc={info.pc} (seq {seq})"
 
 
+def chrome_counter_events(
+    samples: List[Dict[str, object]], pid: int = 0
+) -> List[Dict[str, object]]:
+    """Interval samples as Chrome trace *counter* ("C") events.
+
+    Each :class:`~repro.telemetry.metrics.IntervalSampler` sample
+    becomes a handful of counter tracks (IPC, structure occupancy, LSQ
+    pressure, stall fractions) that viewers render as area charts
+    overlaying the per-µop slices from :func:`write_chrome_trace`.
+    """
+    events: List[Dict[str, object]] = []
+    for sample in samples:
+        ts = sample["cycle"]
+        events.append({
+            "name": "IPC", "ph": "C", "pid": pid, "ts": ts, "cat": "metrics",
+            "args": {"interval": round(float(sample["ipc"]), 4),
+                     "cumulative": round(float(sample["ipc_cum"]), 4)},
+        })
+        occupancy = sample.get("occupancy") or {}
+        if occupancy:
+            events.append({
+                "name": "occupancy", "ph": "C", "pid": pid, "ts": ts,
+                "cat": "metrics",
+                "args": {k: occupancy[k] for k in ("rob", "sched",
+                                                   "decode_queue")
+                         if k in occupancy},
+            })
+            if "lq" in occupancy or "sq" in occupancy:
+                events.append({
+                    "name": "lsq", "ph": "C", "pid": pid, "ts": ts,
+                    "cat": "metrics",
+                    "args": {k: occupancy[k] for k in ("lq", "sq")
+                             if k in occupancy},
+                })
+        queues = sample.get("queues") or {}
+        if queues:
+            events.append({
+                "name": "queues", "ph": "C", "pid": pid, "ts": ts,
+                "cat": "metrics", "args": dict(queues),
+            })
+        stalls = sample.get("stall_fractions") or {}
+        if stalls:
+            events.append({
+                "name": "stalls", "ph": "C", "pid": pid, "ts": ts,
+                "cat": "metrics",
+                "args": {k: round(float(v), 4) for k, v in stalls.items()},
+            })
+    return events
+
+
 def write_chrome_trace(
     tracer: Tracer,
     path: str,
     label: str = "repro",
     metadata: Optional[Dict[str, object]] = None,
+    samples: Optional[List[Dict[str, object]]] = None,
 ) -> Path:
-    """Write the trace as Chrome trace-event JSON; returns the path."""
+    """Write the trace as Chrome trace-event JSON; returns the path.
+
+    When ``samples`` (an interval-sampler series) is given, counter
+    ("C") events are appended so the time-series overlays the slices.
+    """
     out: List[Dict[str, object]] = [
         {"ph": "M", "pid": 0, "name": "process_name",
          "args": {"name": f"repro pipeline: {label}"}},
@@ -104,6 +159,8 @@ def write_chrome_trace(
                 "ts": event.cycle, "pid": 0, "tid": lane,
                 "args": {"seq": seq, "cause": event.cause},
             })
+    if samples:
+        out.extend(chrome_counter_events(samples))
     document: Dict[str, object] = {
         "traceEvents": out,
         "displayTimeUnit": "ms",

@@ -1,0 +1,115 @@
+"""Structured JSONL campaign run-log.
+
+The :class:`~repro.analysis.runner.ExperimentRunner` appends one JSON
+object per line to the run-log as a campaign executes: task lifecycle
+(``submit``/``start``/``cache_hit``/``finish``), failure handling
+(``retry``/``timeout``/``quarantine``/``pool_restart``), campaign
+bracketing (``campaign_start``/``campaign_end``) and periodic
+``heartbeat`` progress records.  Every record carries ``event``, a
+wall-clock timestamp ``t`` (epoch seconds) and ``elapsed`` (seconds
+since the log was opened); event-specific required fields are listed
+in :data:`EVENT_FIELDS` and enforced by :func:`validate_event`.
+
+Lines are flushed as written, so a log tailed mid-campaign (or left by
+a crashed one) is always a valid prefix; :func:`read_run_log` skips a
+torn final line rather than raising.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: event name -> required event-specific fields (beyond event/t/elapsed).
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "campaign_start": ("tasks", "pending", "jobs", "mode"),
+    "submit": ("key", "workload", "config", "seed", "attempt"),
+    "start": ("key", "workload", "config", "seed", "attempt"),
+    "cache_hit": ("key", "workload", "config", "seed"),
+    "finish": ("key", "workload", "config", "seed", "attempt",
+               "seconds", "worker"),
+    "retry": ("key", "attempt", "kind", "error"),
+    "timeout": ("key", "attempt", "timeout_s"),
+    "quarantine": ("key", "kind", "error", "attempts"),
+    "pool_restart": ("restarts",),
+    "heartbeat": ("done", "total", "inflight", "queued"),
+    "campaign_end": ("seconds", "simulations", "cache_hits", "retries",
+                     "timeouts", "quarantined"),
+}
+
+#: fields present on every record.
+BASE_FIELDS = ("event", "t", "elapsed")
+
+
+def validate_event(record: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the event schema."""
+    event = record.get("event")
+    if event not in EVENT_FIELDS:
+        raise ValueError(f"unknown run-log event: {event!r}")
+    missing = [f for f in BASE_FIELDS + EVENT_FIELDS[event]
+               if f not in record]
+    if missing:
+        raise ValueError(f"run-log {event} record missing {missing}")
+
+
+class RunLog:
+    """Append-only JSONL writer for campaign events.
+
+    Opened in append mode so successive campaigns through the same
+    runner (or successive runners pointed at the same file) accumulate
+    into one log.  Each :meth:`log` call writes and flushes one line.
+    """
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._opened = time.monotonic()
+
+    def log(self, event: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "event": event,
+            "t": round(time.time(), 3),
+            "elapsed": round(time.monotonic() - self._opened, 3),
+            **fields,
+        }
+        validate_event(record)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_run_log(path: str,
+                 event: Optional[str] = None) -> List[Dict[str, object]]:
+    """Load a run-log; optionally filter to one event type.
+
+    A torn final line (crashed writer) is skipped, matching the
+    tolerance the result cache shows for truncated entries.
+    """
+    records: List[Dict[str, object]] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from an interrupted writer
+            raise
+        if event is None or record.get("event") == event:
+            records.append(record)
+    return records

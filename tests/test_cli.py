@@ -97,6 +97,95 @@ class TestTrace:
         assert (tmp_path / "cmp.ooo.json").exists()
 
 
+class TestMetrics:
+    def test_metrics_command_prints_tables(self, cli, capsys):
+        assert cli("metrics", "histogram", "ballerino",
+                   "--sample-interval", "300") == 0
+        out = capsys.readouterr().out
+        assert "instrumented simulation" in out
+        assert "interval time-series" in out
+        assert "top counters" in out
+        assert "pipeline.commit_ops" in out
+        assert "stall-class fractions" in out
+
+    def test_metrics_csv_export(self, cli, capsys, tmp_path):
+        path = tmp_path / "samples.csv"
+        assert cli("metrics", "dotprod", "ooo",
+                   "--sample-interval", "300", "--csv", str(path)) == 0
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        assert "cycle" in header and "occupancy.rob" in header
+        assert len(lines) >= 3  # >= 2 samples at 300-cycle interval
+
+    def test_metrics_trace_out_overlays_counter_events(self, cli, tmp_path):
+        from repro.telemetry import read_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert cli("metrics", "dotprod", "ooo",
+                   "--sample-interval", "300",
+                   "--trace-out", str(path)) == 0
+        document = read_chrome_trace(str(path))
+        counters = [e for e in document["traceEvents"]
+                    if e.get("ph") == "C"]
+        assert counters
+        assert {"IPC", "occupancy", "queues"} <= {e["name"] for e in counters}
+
+    def test_metrics_json_out(self, cli, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert cli("metrics", "histogram", "ces",
+                   "--sample-interval", "400", "--json-out", str(path)) == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == "histogram"
+        assert payload["samples"]
+        assert payload["metrics"]["pipeline.commit_ops"]["value"] == 1200
+        assert payload["samples"][-1]["committed"] == 1200
+
+    def test_simulate_metrics_flag_appends_tables(self, cli, capsys):
+        assert cli("simulate", "histogram", "ballerino",
+                   "--metrics", "--sample-interval", "300") == 0
+        out = capsys.readouterr().out
+        assert "simulation summary" in out  # the normal output stays
+        assert "interval time-series" in out
+        assert "top counters" in out
+
+    def test_metrics_rejects_bad_interval(self, cli):
+        with pytest.raises(ValueError):
+            cli("metrics", "histogram", "ooo", "--sample-interval", "0")
+
+
+class TestRunLogAndCacheHealth:
+    def test_compare_writes_run_log(self, cli, tmp_path):
+        from repro.telemetry import read_run_log, validate_event
+
+        path = tmp_path / "run.jsonl"
+        assert main(["--ops", "1200", "--run-log", str(path),
+                     "compare", "dotprod", "ooo", "ces"]) == 0
+        records = read_run_log(str(path))
+        events = [r["event"] for r in records]
+        assert "campaign_start" in events and "campaign_end" in events
+        assert events.count("finish") == 2
+        for record in records:
+            validate_event(record)
+
+    def test_cache_warnings_surface_on_stderr(self, cli, capsys, tmp_path):
+        assert cli("compare", "dotprod", "ooo") == 0
+        capsys.readouterr()
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text("garbage{{{")
+        assert cli("compare", "dotprod", "ooo") == 0
+        err = capsys.readouterr().err
+        assert "corrupt/unreadable cache" in err
+        assert "re-simulated" in err
+
+    def test_healthy_cache_prints_no_warning(self, cli, capsys):
+        assert cli("compare", "dotprod", "ooo") == 0
+        capsys.readouterr()
+        assert cli("compare", "dotprod", "ooo") == 0  # warm, intact
+        assert "corrupt" not in capsys.readouterr().err
+
+
 class TestReport:
     def test_report_renders_paper_comparison(self, tmp_path, monkeypatch,
                                              capsys):

@@ -1,0 +1,169 @@
+"""The perf-regression gate must catch slowdowns and refuse bad diffs."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "compare_bench", REPO / "benchmarks" / "compare_bench.py"
+)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+
+def _report(scale=1.0, **overrides):
+    """A synthetic harness report; ``scale`` multiplies every phase time."""
+    base = {
+        "ops": 3000,
+        "jobs": 2,
+        "cpu_count": 8,
+        "workloads": ["a", "b"],
+        "arches": ["ooo", "ballerino"],
+        "simulations": 4,
+        "phases": {
+            "trace_warm": {"seconds": round(0.1 * scale, 4)},
+            "serial_cold": {
+                "seconds": round(2.0 * scale, 4),
+                "simulations": 4,
+                "sims_per_sec": round(2.0 / scale, 4),
+                "cache_hits": 0,
+            },
+            "warm_cached": {
+                "seconds": round(0.002 * scale, 4),
+                "simulations": 0,
+                "sims_per_sec": None,
+                "cache_hits": 4,
+            },
+            "single_sim_ooo": {
+                "seconds": round(0.5 * scale, 4),
+                "cycles": 5000,
+                "kcycles_per_sec": round(10.0 / scale, 4),
+            },
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompareReports:
+    def test_self_compare_has_no_regressions(self):
+        rows, regressions = compare_bench.compare_reports(
+            _report(), _report()
+        )
+        assert regressions == []
+        assert {r["phase"] for r in rows} == {
+            "trace_warm", "serial_cold", "warm_cached", "single_sim_ooo",
+        }
+
+    def test_two_x_slowdown_fails(self):
+        rows, regressions = compare_bench.compare_reports(
+            _report(), _report(scale=2.0), threshold=1.5
+        )
+        slow = {r.split(":")[0] for r in regressions}
+        assert "serial_cold" in slow and "single_sim_ooo" in slow
+        # rate fields are reported alongside wall-clock
+        assert any("sims_per_sec" in r for r in regressions)
+        assert any("kcycles_per_sec" in r for r in regressions)
+
+    def test_threshold_is_configurable(self):
+        _, at_3x = compare_bench.compare_reports(
+            _report(), _report(scale=2.0), threshold=3.0
+        )
+        assert at_3x == []
+        _, at_1_5x = compare_bench.compare_reports(
+            _report(), _report(scale=2.0), threshold=1.5
+        )
+        assert at_1_5x
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compare_bench.compare_reports(_report(), _report(), threshold=1.0)
+
+    def test_sub_floor_phases_are_skipped(self):
+        # warm_cached is 2ms vs 4ms: huge ratio, but pure timer noise
+        rows, regressions = compare_bench.compare_reports(
+            _report(), _report(scale=2.0), threshold=1.5
+        )
+        warm = next(r for r in rows if r["phase"] == "warm_cached")
+        assert "skipped" in warm["verdict"]
+        assert not any(r.startswith("warm_cached") for r in regressions)
+
+    def test_speedups_pass(self):
+        _, regressions = compare_bench.compare_reports(
+            _report(), _report(scale=0.5)
+        )
+        assert regressions == []
+
+    def test_phase_missing_from_new_report_is_ignored(self):
+        fresh = _report()
+        del fresh["phases"]["single_sim_ooo"]
+        rows, regressions = compare_bench.compare_reports(_report(), fresh)
+        assert regressions == []
+        assert "single_sim_ooo" not in {r["phase"] for r in rows}
+
+
+class TestComparability:
+    def test_matrix_mismatch_is_hard_issue(self):
+        issues, _ = compare_bench.comparability_issues(
+            _report(), _report(ops=9999)
+        )
+        assert issues and "ops" in issues[0]
+
+    def test_jobs_and_cpu_count_only_warn(self):
+        issues, warnings = compare_bench.comparability_issues(
+            _report(), _report(jobs=8, cpu_count=2)
+        )
+        assert issues == []
+        assert len(warnings) == 2
+
+
+class TestCli:
+    def _write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _report())
+        assert compare_bench.main(
+            ["--baseline", baseline, "--new", baseline]
+        ) == 0
+        assert "OK: no phase regressed" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_exits_one(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _report())
+        slow = self._write(tmp_path, "slow.json", _report(scale=2.0))
+        assert compare_bench.main(
+            ["--baseline", baseline, "--new", slow]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "serial_cold" in err
+
+    def test_incomparable_exits_two(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", _report())
+        other = self._write(tmp_path, "other.json", _report(ops=9999))
+        assert compare_bench.main(
+            ["--baseline", baseline, "--new", other]
+        ) == 2
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(compare_bench, "find_baseline", lambda: None)
+        assert compare_bench.main(["--new", "whatever.json"]) == 2
+
+    def test_find_baseline_prefers_newest_name(self, tmp_path):
+        for name in ("BENCH.json", "BENCH_PR2.json", "BENCH_PR5.json"):
+            (tmp_path / name).write_text("{}")
+        assert compare_bench.find_baseline(tmp_path).name == "BENCH_PR5.json"
+
+    def test_repo_baseline_self_compares_clean(self, capsys):
+        """The committed baseline must pass the gate against itself."""
+        baseline = compare_bench.find_baseline()
+        assert baseline is not None
+        assert compare_bench.main(
+            ["--baseline", str(baseline), "--new", str(baseline)]
+        ) == 0
