@@ -51,6 +51,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.config import CoreConfig, config_for
 from ..core.pipeline import SimulationDeadlock, simulate
 from ..core.stats import RESULT_SCHEMA_VERSION, SimResult
+from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.runlog import RunLog
 from ..workloads.suite import SUITE_NAMES, get_trace
 
@@ -171,6 +172,10 @@ class ExperimentRunner:
         progress: Callable fed one-line heartbeat strings while a batch
             executes (e.g. ``print``); ``None`` disables the heartbeat.
         heartbeat_interval: Minimum seconds between heartbeats.
+        metrics: Optional :class:`~repro.telemetry.metrics.
+            MetricsRegistry` fed campaign health counters (currently
+            ``runner.cache_warnings``) so long-lived hosts — the
+            ``repro serve`` daemon — can export them.
     """
 
     def __init__(
@@ -184,6 +189,7 @@ class ExperimentRunner:
         run_log: Optional[str] = None,
         progress=None,
         heartbeat_interval: float = 2.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.target_ops = target_ops
         self.seed = seed
@@ -221,6 +227,7 @@ class ExperimentRunner:
         self.progress = progress
         self.heartbeat_interval = heartbeat_interval
         self._last_heartbeat = 0.0
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # campaign observability
@@ -266,6 +273,21 @@ class ExperimentRunner:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
+    def _cache_warning(self, key: str, reason: str) -> None:
+        """Count one tolerated cache corruption, everywhere it matters.
+
+        Beyond the in-process :attr:`cache_warnings` counter (surfaced
+        on stderr by the CLI), the event lands in the structured run-log
+        and — when a registry is attached — on the
+        ``runner.cache_warnings`` metrics counter, so a long-lived host
+        like the serve daemon can report cache health on ``/healthz``.
+        """
+        self.cache_warnings += 1
+        self._log("cache_warning", key=key, reason=reason,
+                  count=self.cache_warnings)
+        if self.metrics is not None:
+            self.metrics.count("runner.cache_warnings")
+
     def _load_disk(self, key: str) -> Optional[SimResult]:
         """Fetch one disk-cache entry; any unusable entry is a miss.
 
@@ -283,15 +305,15 @@ class ExperimentRunner:
         try:
             text = path.read_text()
         except OSError:
-            self.cache_warnings += 1
+            self._cache_warning(key, "unreadable")
             return None
         except UnicodeDecodeError:
             # binary garbage where JSON should be: definitely corrupt
-            self.cache_warnings += 1
+            self._cache_warning(key, "binary-garbage")
             self._discard_entry(path)
             return None
         if not text.strip():
-            self.cache_warnings += 1
+            self._cache_warning(key, "zero-byte")
             self._discard_entry(path)
             return None
         try:
@@ -299,7 +321,7 @@ class ExperimentRunner:
         except (ValueError, KeyError, TypeError):
             # truncated / corrupt (e.g. a worker died mid-write before
             # writes were atomic): drop it and re-simulate
-            self.cache_warnings += 1
+            self._cache_warning(key, "corrupt")
             self._discard_entry(path)
             return None
 
@@ -653,6 +675,21 @@ class ExperimentRunner:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+
+    def run_cell(self, workload: str, config: CoreConfig,
+                 seed: Optional[int] = None,
+                 retries: Optional[int] = None,
+                 ) -> Union[SimResult, FailedResult]:
+        """Reusable single-cell entry point with quarantine semantics.
+
+        Unlike :meth:`run` (which raises on failure), a cell that keeps
+        failing comes back as a structured :class:`FailedResult` — the
+        same retry/quarantine/cache machinery as :meth:`run_many`, for
+        hosts that execute one task at a time (e.g. the ``repro serve``
+        worker pool).
+        """
+        return self.run_many([(workload, config, seed)], jobs=1,
+                             retries=retries)[0]
 
     def run_seeds(self, workload: str, config: CoreConfig,
                   seeds: Sequence[int],

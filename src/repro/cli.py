@@ -25,6 +25,17 @@ Commands:
 * ``chaos`` — fault-injection drill for the campaign runner: kills,
   hangs, injected errors, forced deadlocks and corrupted caches, then a
   byte-identity check against a clean serial run (docs/robustness.md).
+* ``serve`` — the simulation-as-a-service daemon: a REST API over a
+  durable job queue (priority lanes, per-tenant rate limits,
+  backpressure) and a worker pool that drives jobs through the
+  fault-tolerant runner, streaming results back in submission order
+  (docs/serving.md).
+* ``submit`` / ``poll`` — the matching client pair: submit a cell list
+  or sweep matrix to a running daemon, poll status, fetch the ordered
+  result stream.
+
+``repro --version`` prints the package version plus the serve protocol
+version so clients can check compatibility against ``GET /healthz``.
 
 All simulation commands honour ``--ops`` / ``--seed`` / ``--width`` /
 ``--jobs`` and use the shared ``.bench_cache`` result cache
@@ -62,11 +73,28 @@ _ALL_ARCHES = (
 )
 
 
+def _version_string() -> str:
+    """Package version (from metadata, falling back to the module) plus
+    the serve protocol version — what clients compare against
+    ``/healthz``."""
+    from .serve.protocol import PROTOCOL_VERSION
+
+    try:
+        from importlib.metadata import version
+
+        package = version("repro")
+    except Exception:
+        from . import __version__ as package
+    return f"repro {package} (serve protocol {PROTOCOL_VERSION})"
+
+
 def _make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ballerino (MICRO 2022) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     parser.add_argument("--ops", type=int, default=10_000,
                         help="dynamic micro-ops per workload trace")
     parser.add_argument("--seed", type=int, default=7,
@@ -225,6 +253,74 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
                            help="worker processes for the fault run "
                                 "(default 4)")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service daemon: REST API + durable job "
+             "queue + worker pool (see docs/serving.md)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="bind address (default 127.0.0.1)")
+    serve_cmd.add_argument("--port", type=int, default=8023,
+                           help="bind port; 0 picks an ephemeral port "
+                                "(default 8023)")
+    serve_cmd.add_argument("--port-file", default=None, metavar="FILE",
+                           help="write the bound port here once "
+                                "listening (for scripts/CI)")
+    serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                           help="worker threads in the pool (default 2)")
+    serve_cmd.add_argument("--shard-size", type=int, default=4, metavar="N",
+                           help="cells per dispatch shard (default 4)")
+    serve_cmd.add_argument("--shard-jobs", type=int, default=1, metavar="N",
+                           help="processes each shard fans its run_many "
+                                "over (default 1 = in-thread serial)")
+    serve_cmd.add_argument("--queue-dir", default=None, metavar="DIR",
+                           help="durable queue directory (default: "
+                                "<cache>/queue)")
+    serve_cmd.add_argument("--max-depth", type=int, default=64, metavar="N",
+                           help="queued-job bound before backpressure "
+                                "(default 64)")
+    serve_cmd.add_argument("--rate", type=float, default=10.0,
+                           help="per-tenant sustained submit rate, "
+                                "jobs/s (default 10)")
+    serve_cmd.add_argument("--burst", type=float, default=20,
+                           help="per-tenant submit burst (default 20)")
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` daemon")
+    submit_cmd.add_argument("--server", required=True, metavar="URL",
+                            help="daemon base URL, e.g. "
+                                 "http://127.0.0.1:8023")
+    submit_cmd.add_argument("--workloads", nargs="+", required=True,
+                            metavar="W", help="workload axis of the sweep")
+    submit_cmd.add_argument("--arches", nargs="+", required=True,
+                            metavar="ARCH", help="arch axis of the sweep")
+    submit_cmd.add_argument("--widths", nargs="*", type=int, default=None,
+                            metavar="N",
+                            help="width axis (default: the global --width)")
+    submit_cmd.add_argument("--priority", choices=("interactive", "batch"),
+                            default="batch",
+                            help="queue lane (default batch)")
+    submit_cmd.add_argument("--tenant", default="default",
+                            help="tenant for rate accounting")
+    submit_cmd.add_argument("--idempotency-key", default=None, metavar="KEY",
+                            help="resubmitting the same key returns the "
+                                 "original job instead of a duplicate")
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="poll to completion and print the "
+                                 "result table")
+    submit_cmd.add_argument("--timeout", type=float, default=300.0,
+                            help="--wait timeout in seconds (default 300)")
+
+    poll_cmd = sub.add_parser(
+        "poll", help="poll a job on a running `repro serve` daemon")
+    poll_cmd.add_argument("job_id", help="job id returned by submit")
+    poll_cmd.add_argument("--server", required=True, metavar="URL",
+                          help="daemon base URL")
+    poll_cmd.add_argument("--results", action="store_true",
+                          help="wait for completion and print the "
+                               "ordered result table")
+    poll_cmd.add_argument("--timeout", type=float, default=300.0,
+                          help="--results timeout in seconds (default 300)")
     return parser
 
 
@@ -756,6 +852,134 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    from pathlib import Path
+
+    from .serve.daemon import ServeDaemon
+
+    cache = "" if args.no_cache else None
+    if args.queue_dir is not None:
+        queue_dir = args.queue_dir
+    else:
+        # default next to the result cache so one tree holds all state
+        import os
+
+        root = os.environ.get("REPRO_BENCH_CACHE") or str(
+            Path(__file__).resolve().parents[2] / ".bench_cache")
+        queue_dir = str(Path(root) / "queue")
+    daemon = ServeDaemon(
+        queue_dir=queue_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        shard_jobs=args.shard_jobs,
+        max_depth=args.max_depth,
+        rate=args.rate,
+        burst=args.burst,
+        runner_kwargs=dict(
+            target_ops=args.ops, seed=args.seed, cache_dir=cache,
+            task_timeout=args.task_timeout, retries=args.retries,
+            run_log=args.run_log,
+        ),
+    )
+    daemon.start()
+    print(f"serving on {daemon.url} (queue: {queue_dir}, "
+          f"{args.workers} workers)")
+    if daemon.queue.replayed_jobs:
+        print(f"replayed {daemon.queue.replayed_jobs} unfinished job(s) "
+              "from the journal")
+    if args.port_file:
+        Path(args.port_file).write_text(f"{daemon.port}\n")
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_stop())
+    daemon.wait()
+    print("serve: drained and stopped")
+    return 0
+
+
+def _result_rows(entries):
+    """Render ordered result envelopes as CLI table rows."""
+    rows = []
+    for entry in entries:
+        cell = entry["cell"]
+        label = f"{cell['workload']}/{cell['arch']}@{cell['width']}"
+        if entry["ok"]:
+            stats = entry["result"]["stats"]
+            cycles = stats["cycles"]
+            ipc = stats["committed"] / cycles if cycles else 0.0
+            rows.append([entry["seq"], label, round(ipc, 3), cycles, "ok"])
+        else:
+            rows.append([entry["seq"], label, "", "",
+                         f"FAILED ({entry['result']['kind']})"])
+    return rows
+
+
+def _print_job_results(client, job_id: str, timeout: float) -> int:
+    status = client.wait(job_id, timeout=timeout)
+    entries = client.stream_results(job_id, timeout=timeout)
+    print(format_table(
+        ["seq", "cell", "IPC", "cycles", "status"], _result_rows(entries),
+        title=f"job {job_id}: {status['status']}, "
+              f"{status['failed_cells']} failed cell(s)",
+    ))
+    return 0 if (status["status"] == "done"
+                 and status["failed_cells"] == 0) else 1
+
+
+def _cmd_submit(args) -> int:
+    from .serve.client import ServeClient, ServeError
+    from .serve.protocol import PROTOCOL_VERSION
+
+    client = ServeClient(args.server)
+    try:
+        health = client.health()
+        if health.get("protocol") != PROTOCOL_VERSION:
+            print(f"protocol mismatch: server speaks "
+                  f"{health.get('protocol')}, client {PROTOCOL_VERSION}",
+                  file=sys.stderr)
+            return 2
+        job = client.submit(
+            matrix={
+                "workloads": args.workloads,
+                "arches": args.arches,
+                "widths": args.widths or [args.width],
+            },
+            priority=args.priority,
+            tenant=args.tenant,
+            idempotency_key=args.idempotency_key,
+        )
+    except ServeError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+    verb = "submitted" if job["created"] else "already submitted"
+    print(f"{verb}: job {job['job_id']} ({job['cells']} cells, "
+          f"{job['priority']} lane)")
+    if not args.wait:
+        return 0
+    return _print_job_results(client, job["job_id"], args.timeout)
+
+
+def _cmd_poll(args) -> int:
+    from .serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.server)
+    try:
+        if args.results:
+            return _print_job_results(client, args.job_id, args.timeout)
+        status = client.status(args.job_id)
+    except ServeError as exc:
+        print(f"poll failed: {exc}", file=sys.stderr)
+        return 1
+    print(format_table(
+        ["field", "value"],
+        [[key, value] for key, value in status.items()],
+        title=f"job {args.job_id}",
+    ))
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "configs": _cmd_configs,
@@ -769,6 +993,9 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "fuzz": _cmd_fuzz,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "poll": _cmd_poll,
 }
 
 

@@ -1,0 +1,126 @@
+"""Thin stdlib HTTP client for the ``repro serve`` API.
+
+Used by ``repro submit`` / ``repro poll`` and by tests; speaks exactly
+the :mod:`repro.serve.protocol` schemas.  Server-side refusals
+(structured 4xx bodies) surface as :class:`ServeError` carrying the
+machine-readable ``code`` and the ``retry_after`` hint when present.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from .protocol import PROTOCOL_VERSION
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict] = None) -> Dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                body = json.loads(exc.read())
+                error = body.get("error", {})
+            except (ValueError, TypeError):
+                error = {}
+            raise ServeError(
+                exc.code,
+                error.get("code", "http-error"),
+                error.get("message", str(exc)),
+                retry_after=error.get("retry_after"),
+            ) from None
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        cells: Optional[List[Dict]] = None,
+        matrix: Optional[Dict] = None,
+        priority: str = "batch",
+        tenant: str = "default",
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        """``POST /jobs``; returns the job-status body (with ``created``)."""
+        payload: Dict[str, object] = {
+            "version": PROTOCOL_VERSION,
+            "priority": priority,
+            "tenant": tenant,
+        }
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
+        if cells is not None:
+            payload["cells"] = cells
+        if matrix is not None:
+            payload["matrix"] = matrix
+        return self._request("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def results(self, job_id: str, since: int = 0) -> Dict:
+        return self._request("GET", f"/jobs/{job_id}/results?since={since}")
+
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metricsz")
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/shutdownz", {})
+
+    # ------------------------------------------------------------------
+    def wait(self, job_id: str, timeout: float = 120.0,
+             interval: float = 0.2) -> Dict:
+        """Poll until the job is terminal; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after "
+                    f"{timeout:g}s")
+            time.sleep(interval)
+
+    def stream_results(self, job_id: str, timeout: float = 120.0,
+                       interval: float = 0.2) -> List[Dict]:
+        """Fetch the complete ordered result stream, polling as it grows."""
+        deadline = time.monotonic() + timeout
+        entries: List[Dict] = []
+        while True:
+            page = self.results(job_id, since=len(entries))
+            entries.extend(page["results"])
+            if page["complete"]:
+                return entries
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} results incomplete after {timeout:g}s")
+            time.sleep(interval)

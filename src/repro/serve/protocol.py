@@ -1,0 +1,243 @@
+"""Versioned wire schemas for the ``repro serve`` job API.
+
+Everything that crosses the HTTP boundary (or the durable queue
+journal) is defined here: the submit payload — a flat list of
+``(workload, arch, width, seed)`` **cells** or a **sweep matrix** that
+the server expands deterministically — plus the job-status and ordered
+result-stream envelopes.  The schemas are versioned by
+:data:`PROTOCOL_VERSION`; ``repro --version`` prints it and the daemon
+echoes it on ``/healthz`` so clients can check compatibility before
+submitting.
+
+A submit payload looks like either of::
+
+    {"version": 1, "priority": "interactive", "tenant": "alice",
+     "idempotency_key": "nightly-42",
+     "cells": [{"workload": "dotprod", "arch": "ooo", "width": 8,
+                "seed": null}]}
+
+    {"version": 1, "priority": "batch",
+     "matrix": {"workloads": ["dotprod", "histogram"],
+                "arches": ["ooo", "ballerino"],
+                "widths": [8], "seeds": [null]}}
+
+Matrix expansion order is fixed (workload-major, then arch, width,
+seed) so a submitted sweep's result order is reproducible and equals a
+serial :meth:`~repro.analysis.runner.ExperimentRunner.run_many` over
+the same expansion.  ``priority`` selects one of the two queue lanes
+(:data:`PRIORITY_CLASSES`); ``idempotency_key`` makes resubmission of
+the same logical job (per tenant) return the original job id instead
+of enqueueing a duplicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import CoreConfig, config_for
+from ..workloads.kernels import KERNELS
+
+#: Version of the job/result wire schemas.  Bump on breaking changes;
+#: the daemon rejects submits that pin a different version.
+PROTOCOL_VERSION = 1
+
+#: Queue lanes, in dispatch-priority order (first wins).
+PRIORITY_CLASSES = ("interactive", "batch")
+
+#: Default priority class for submits that do not name one.
+DEFAULT_PRIORITY = "batch"
+
+#: Default tenant for unauthenticated/anonymous clients.
+DEFAULT_TENANT = "default"
+
+#: Upper bound on cells per job — one job cannot monopolise the queue;
+#: submit several jobs (they interleave fairly) for bigger sweeps.
+MAX_CELLS_PER_JOB = 4096
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class ProtocolError(ValueError):
+    """A malformed or incompatible request payload.
+
+    ``code`` is a stable machine-readable slug (``bad-request``,
+    ``protocol-version``, ``unknown-workload``, ...) that travels in the
+    structured HTTP error body.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (workload, arch, width, seed) simulation request.
+
+    ``seed=None`` means "the server's default workload-data seed" — it
+    stays ``None`` on the wire so the same job submitted to servers
+    with different default seeds hits their respective caches.
+    """
+
+    workload: str
+    arch: str
+    width: int = 8
+    seed: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        return {"workload": self.workload, "arch": self.arch,
+                "width": self.width, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Cell":
+        if not isinstance(data, dict):
+            raise ProtocolError("bad-cell", f"cell must be an object, got {data!r}")
+        try:
+            cell = cls(
+                workload=data["workload"],
+                arch=data["arch"],
+                width=int(data.get("width", 8)),
+                seed=(None if data.get("seed") is None else int(data["seed"])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("bad-cell", f"malformed cell {data!r}: {exc}")
+        cell.validate()
+        return cell
+
+    def validate(self) -> None:
+        if self.workload not in KERNELS:
+            raise ProtocolError(
+                "unknown-workload", f"unknown workload: {self.workload!r}")
+        try:
+            self.config()
+        except Exception:
+            raise ProtocolError(
+                "unknown-arch",
+                f"unknown arch/width: {self.arch!r} @ {self.width}-wide")
+
+    def config(self) -> CoreConfig:
+        return config_for(self.arch, width=self.width)
+
+    def task(self, default_seed: int) -> Tuple[str, CoreConfig, int]:
+        """The runner task tuple this cell resolves to."""
+        seed = self.seed if self.seed is not None else default_seed
+        return (self.workload, self.config(), seed)
+
+
+def expand_matrix(matrix: Dict) -> List[Cell]:
+    """Expand a sweep matrix into its deterministic cell list.
+
+    Order: workload-major, then arch, width, seed — documented on the
+    wire schema and relied on by the byte-identity tests.
+    """
+    if not isinstance(matrix, dict):
+        raise ProtocolError("bad-matrix", "matrix must be an object")
+    unknown = set(matrix) - {"workloads", "arches", "widths", "seeds"}
+    if unknown:
+        raise ProtocolError("bad-matrix",
+                            f"unknown matrix axes: {sorted(unknown)}")
+    workloads = matrix.get("workloads") or []
+    arches = matrix.get("arches") or []
+    if not workloads or not arches:
+        raise ProtocolError(
+            "bad-matrix", "matrix needs non-empty workloads and arches")
+    widths = matrix.get("widths") or [8]
+    seeds = matrix.get("seeds") or [None]
+    return [
+        Cell.from_dict({"workload": w, "arch": a, "width": wd, "seed": s})
+        for w, a, wd, s in itertools.product(workloads, arches, widths, seeds)
+    ]
+
+
+@dataclass
+class JobSpec:
+    """A validated, admitted job: what to run, for whom, how urgently."""
+
+    job_id: str
+    cells: List[Cell]
+    priority: str = DEFAULT_PRIORITY
+    tenant: str = DEFAULT_TENANT
+    idempotency_key: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "priority": self.priority,
+            "tenant": self.tenant,
+            "idempotency_key": self.idempotency_key,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        return cls(
+            job_id=data["job_id"],
+            cells=[Cell.from_dict(c) for c in data["cells"]],
+            priority=data.get("priority", DEFAULT_PRIORITY),
+            tenant=data.get("tenant", DEFAULT_TENANT),
+            idempotency_key=data.get("idempotency_key"),
+        )
+
+
+def parse_submit(payload: Dict, job_id: str) -> JobSpec:
+    """Validate a ``POST /jobs`` payload into a :class:`JobSpec`.
+
+    Raises :class:`ProtocolError` (-> HTTP 400) on anything malformed;
+    admission control (rate limits, backpressure) happens later, in the
+    queue.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-request", "submit payload must be an object")
+    version = payload.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "protocol-version",
+            f"server speaks protocol {PROTOCOL_VERSION}, client sent "
+            f"{version!r}")
+    if ("cells" in payload) == ("matrix" in payload):
+        raise ProtocolError(
+            "bad-request", "submit exactly one of 'cells' or 'matrix'")
+    if "cells" in payload:
+        raw = payload["cells"]
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError("bad-request", "'cells' must be a non-empty list")
+        cells = [Cell.from_dict(c) for c in raw]
+    else:
+        cells = expand_matrix(payload["matrix"])
+    if len(cells) > MAX_CELLS_PER_JOB:
+        raise ProtocolError(
+            "too-many-cells",
+            f"job has {len(cells)} cells, limit is {MAX_CELLS_PER_JOB}")
+    priority = payload.get("priority", DEFAULT_PRIORITY)
+    if priority not in PRIORITY_CLASSES:
+        raise ProtocolError(
+            "bad-priority",
+            f"priority must be one of {PRIORITY_CLASSES}, got {priority!r}")
+    tenant = payload.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("bad-tenant", "tenant must be a non-empty string")
+    idempotency_key = payload.get("idempotency_key")
+    if idempotency_key is not None and not isinstance(idempotency_key, str):
+        raise ProtocolError("bad-request", "idempotency_key must be a string")
+    return JobSpec(job_id=job_id, cells=cells, priority=priority,
+                   tenant=tenant, idempotency_key=idempotency_key)
+
+
+def result_envelope(seq: int, cell: Cell, result) -> Dict:
+    """One entry of the ordered result stream.
+
+    ``result`` is a :class:`~repro.core.stats.SimResult` or
+    :class:`~repro.analysis.runner.FailedResult`; its ``to_dict`` payload
+    is embedded verbatim so a fetched sweep is byte-identical to a
+    local ``run_many`` of the same cells.
+    """
+    return {
+        "seq": seq,
+        "cell": cell.to_dict(),
+        "ok": bool(result.ok),
+        "result": result.to_dict(),
+    }

@@ -74,6 +74,10 @@ class GaugeMetric:
     def set(self, value: float) -> None:
         self.value = value
 
+    def add(self, delta: float) -> None:
+        """Adjust the level by ``delta`` (e.g. queue depth +1/-1)."""
+        self.value += delta
+
     def snapshot(self) -> Dict[str, object]:
         return {"type": self.kind, "value": self.value}
 
@@ -175,6 +179,13 @@ class MetricsRegistry:
         if metric is None:
             metric = self._metrics[name] = HistogramMetric(name)
         metric.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Get-or-create one-liner for gauges (queue depths, latencies)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = GaugeMetric(name)
+        metric.value = value
 
     def __len__(self) -> int:
         return len(self._metrics)

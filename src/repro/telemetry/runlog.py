@@ -37,6 +37,21 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "heartbeat": ("done", "total", "inflight", "queued"),
     "campaign_end": ("seconds", "simulations", "cache_hits", "retries",
                      "timeouts", "quarantined"),
+    # cache health: a corrupt / unreadable / zero-byte disk-cache entry
+    # was tolerated (treated as a miss) — see ExperimentRunner._load_disk
+    "cache_warning": ("reason", "count"),
+    # job-queue / serving lifecycle (repro.serve; see docs/serving.md).
+    # The durable queue journal reuses this writer, so replay after a
+    # crash goes through the same torn-tail-tolerant read_run_log.
+    "job_enqueue": ("job_id", "tenant", "priority", "cells"),
+    "job_dispatch": ("job_id", "priority"),
+    "job_requeue": ("job_id", "reason"),
+    "job_done": ("job_id", "ok", "failed_cells", "seconds"),
+    "job_failed": ("job_id", "error"),
+    "job_reject": ("tenant", "code", "reason"),
+    "cell_repair": ("job_id", "seqs"),
+    "serve_start": ("host", "port", "workers"),
+    "serve_stop": ("drained", "requeued"),
 }
 
 #: fields present on every record.

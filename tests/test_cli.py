@@ -252,6 +252,73 @@ class TestFigure:
             cli("figure", "fig99")
 
 
+class TestVersion:
+    def test_version_prints_package_and_protocol(self, capsys):
+        from repro.serve.protocol import PROTOCOL_VERSION
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert f"serve protocol {PROTOCOL_VERSION}" in out
+
+
+class TestServeCommands:
+    @pytest.fixture()
+    def daemon(self, tmp_path):
+        from repro.serve.daemon import ServeDaemon
+
+        daemon = ServeDaemon(
+            str(tmp_path / "queue"),
+            runner_kwargs={"target_ops": 600,
+                           "cache_dir": str(tmp_path / "serve-cache")})
+        daemon.start()
+        yield daemon
+        daemon.stop(timeout=30)
+
+    def test_submit_wait_prints_result_table(self, cli, capsys, daemon):
+        assert cli("submit", "--server", daemon.url,
+                   "--workloads", "dotprod", "--arches", "ooo",
+                   "--wait") == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out
+        assert "dotprod" in out and "ooo" in out
+        assert "IPC" in out
+
+    def test_submit_then_poll_round_trip(self, cli, capsys, daemon):
+        import re
+
+        assert cli("submit", "--server", daemon.url,
+                   "--workloads", "histogram", "--arches", "ooo") == 0
+        job_id = re.search(r"j-[0-9a-f]{12}",
+                           capsys.readouterr().out).group(0)
+        assert cli("poll", job_id, "--server", daemon.url,
+                   "--results", "--timeout", "120") == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "histogram" in out
+
+    def test_submit_surfaces_structured_refusal(self, cli, capsys,
+                                                tmp_path):
+        from repro.serve.daemon import ServeDaemon
+
+        daemon = ServeDaemon(
+            str(tmp_path / "q2"), workers=0, max_depth=1,
+            runner_kwargs={"target_ops": 600,
+                           "cache_dir": str(tmp_path / "c2")})
+        daemon.start()
+        try:
+            assert cli("submit", "--server", daemon.url,
+                       "--workloads", "dotprod", "--arches", "ooo") == 0
+            assert cli("submit", "--server", daemon.url,
+                       "--workloads", "histogram", "--arches", "ooo") == 1
+            err = capsys.readouterr().err
+            assert "queue-full" in err
+        finally:
+            daemon.stop(timeout=30)
+
+
 class TestCharacterize:
     def test_characterize_lists_suite_limits(self, cli, capsys):
         assert cli("characterize") == 0

@@ -23,6 +23,7 @@ class TestDocFiles:
         "docs/api.md",
         "docs/observability.md",
         "docs/performance.md",
+        "docs/serving.md",
     ])
     def test_exists_and_nonempty(self, path):
         file = REPO / path

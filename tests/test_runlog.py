@@ -191,3 +191,51 @@ class TestCampaignEvents:
         )
         runner.run("histogram", config_for("ooo"))
         assert len(read_run_log(str(path), event="finish")) == 1
+
+
+# ---------------------------------------------------------------------------
+# cache-health events (tolerated corruption is observable, not just counted)
+
+
+class TestCacheWarningEvents:
+    def _corrupt_run(self, tmp_path, text, **runner_kw):
+        """Warm the cache, rewrite the entry to ``text``, re-read cold."""
+        warm = _runner(tmp_path, "cachewarn")
+        warm.run("dotprod", config_for("ooo"))
+        key = warm._key("dotprod", config_for("ooo"), warm.seed)
+        (tmp_path / "cachewarn" / f"{key}.json").write_text(text)
+        cold = ExperimentRunner(
+            target_ops=OPS, cache_dir=str(tmp_path / "cachewarn"),
+            run_log=str(tmp_path / "cold.jsonl"), **runner_kw)
+        cold.run("dotprod", config_for("ooo"))
+        return cold
+
+    def test_corrupt_entry_emits_structured_event(self, tmp_path):
+        cold = self._corrupt_run(tmp_path, '{"torn": ')
+        events = _events(cold, "cache_warning")
+        assert len(events) == 1
+        assert events[0]["reason"] == "corrupt"
+        assert events[0]["count"] == 1 == cold.cache_warnings
+
+    def test_zero_byte_entry_emits_its_own_reason(self, tmp_path):
+        cold = self._corrupt_run(tmp_path, "")
+        events = _events(cold, "cache_warning")
+        assert events and events[0]["reason"] == "zero-byte"
+
+    def test_warning_lands_on_metrics_counter(self, tmp_path):
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cold = self._corrupt_run(tmp_path, "garbage{", metrics=metrics)
+        assert metrics.value("runner.cache_warnings") == 1
+        assert cold.cache_warnings == 1
+
+    def test_healthy_cache_emits_no_warning(self, tmp_path):
+        warm = _runner(tmp_path, "healthy")
+        warm.run("dotprod", config_for("ooo"))
+        cold = ExperimentRunner(
+            target_ops=OPS, cache_dir=str(tmp_path / "healthy"),
+            run_log=str(tmp_path / "cold.jsonl"))
+        cold.run("dotprod", config_for("ooo"))
+        assert _events(cold, "cache_warning") == []
+        assert cold.cache_warnings == 0

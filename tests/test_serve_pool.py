@@ -1,0 +1,200 @@
+"""Worker pool: priority dispatch, resequencing, gap repair."""
+
+import threading
+
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import parse_submit
+from repro.serve.queue import DurableJobQueue, new_job_id
+from repro.telemetry import read_run_log
+
+
+def submit(queue, priority="batch", cells=2, tenant="default"):
+    spec = parse_submit(
+        {"priority": priority, "tenant": tenant,
+         "cells": [{"workload": "dotprod", "arch": "ooo", "seed": seed}
+                   for seed in range(cells)]},
+        job_id=new_job_id())
+    return queue.submit(spec)[0]
+
+
+class StubResult:
+    def __init__(self, task, ok=True):
+        self.task = task
+        self.ok = ok
+
+    def to_dict(self):
+        workload, config, seed = self.task
+        return {"workload": workload, "arch": config.name, "seed": seed,
+                "ok": self.ok}
+
+
+class StubRunner:
+    """Runner double: records calls, optionally gates or fails them."""
+
+    seed = 7
+
+    def __init__(self, gate=None, entered=None, fail_times=0, ok=True):
+        self.gate = gate          # block run_many until set
+        self.entered = entered    # signalled when run_many is entered
+        self.fail_times = fail_times
+        self.ok = ok
+        self.calls = []
+        self.cache_warnings = 0
+        self.quarantined = {}
+
+    def run_many(self, tasks, jobs=1, retries=None):
+        self.calls.append(list(tasks))
+        if self.entered is not None:
+            self.entered.set()
+        if self.gate is not None:
+            self.gate.wait(timeout=10)
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise MemoryError("simulated harness death")
+        return [StubResult(task, ok=self.ok) for task in tasks]
+
+
+def manual_pool(queue, runner, **kwargs):
+    """A pool with no threads; tests drive dispatch/execution directly."""
+    kwargs.setdefault("workers", 0)
+    pool = WorkerPool(queue, lambda: runner, **kwargs)
+    pool._runners.append(runner)
+    return pool
+
+
+def drain(pool, runner, limit=32):
+    order = []
+    for _ in range(limit):
+        shard = pool._next_shard()
+        if shard is None:
+            return order
+        order.append(shard.run.state.spec.job_id)
+        try:
+            pool._execute(runner, shard)
+        except Exception as exc:
+            pool._shard_lost(shard, exc)
+    raise AssertionError("pool did not drain")
+
+
+class TestPriorityDispatch:
+    def test_interactive_overtakes_queued_batch_backlog(self, tmp_path):
+        """The acceptance scenario, driven deterministically."""
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=2)
+        batch_a = submit(queue, "batch")
+        batch_b = submit(queue, "batch")
+        interactive = submit(queue, "interactive")
+        order = drain(pool, runner)
+        # the interactive job dispatches before EVERY queued batch job
+        assert order[0] == interactive.spec.job_id
+        assert order[1:] == [batch_a.spec.job_id, batch_b.spec.job_id]
+
+    def test_interactive_shards_beat_new_batch_jobs(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=1)
+        interactive = submit(queue, "interactive", cells=2)  # 2 shards
+        batch = submit(queue, "batch", cells=1)
+        order = drain(pool, runner)
+        assert order == [interactive.spec.job_id] * 2 + [batch.spec.job_id]
+
+    def test_saturated_live_pool_runs_interactive_next(self, tmp_path):
+        """The acceptance scenario against a real 1-worker pool."""
+        queue = DurableJobQueue(str(tmp_path))
+        gate, entered = threading.Event(), threading.Event()
+        runner = StubRunner(gate=gate, entered=entered)
+        pool = WorkerPool(queue, lambda: runner, workers=1, shard_size=4,
+                          poll_interval=0.01)
+        pool.start()
+        try:
+            first = submit(queue, "batch")
+            assert entered.wait(timeout=10)  # worker is now wedged on it
+            batch_b = submit(queue, "batch")
+            batch_c = submit(queue, "batch")
+            interactive = submit(queue, "interactive")
+            gate.set()  # un-wedge; the worker picks its next shard
+            deadline = threading.Event()
+            for state in (first, batch_b, batch_c, interactive):
+                while state.status != "done":
+                    deadline.wait(0.01)
+            dispatched = [job_id for job_id, _, _ in pool.dispatched]
+            assert dispatched[0] == first.spec.job_id
+            assert dispatched[1] == interactive.spec.job_id
+            assert set(dispatched[2:]) == {batch_b.spec.job_id,
+                                           batch_c.spec.job_id}
+        finally:
+            gate.set()
+            pool.stop(timeout=10)
+
+
+class TestResequencing:
+    def test_results_arrive_in_submission_order(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=2)
+        state = submit(queue, cells=5)  # shards [0,1] [2,3] [4]
+        shards = []
+        while True:
+            shard = pool._next_shard()
+            if shard is None:
+                break
+            shards.append(shard)
+        # execute the shards back-to-front: completions are out of order
+        for shard in reversed(shards):
+            pool._execute(runner, shard)
+        entries, final = queue.results(state.spec.job_id)
+        assert final
+        assert [entry["seq"] for entry in entries] == [0, 1, 2, 3, 4]
+        assert [entry["cell"]["seed"] for entry in entries] == list(range(5))
+        assert state.status == "done" and state.failed_cells == 0
+
+    def test_failed_cells_are_counted_not_fatal(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner(ok=False)
+        pool = manual_pool(queue, runner)
+        state = submit(queue, cells=2)
+        drain(pool, runner)
+        assert state.status == "done"
+        assert state.failed_cells == 2
+        entries, _ = queue.results(state.spec.job_id)
+        assert all(entry["ok"] is False for entry in entries)
+
+
+class TestGapRepair:
+    def test_lost_shard_is_repaired_and_job_completes(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner(fail_times=1)
+        pool = manual_pool(queue, runner, shard_size=2)
+        state = submit(queue, cells=3)
+        drain(pool, runner)
+        assert state.status == "done" and state.failed_cells == 0
+        entries, final = queue.results(state.spec.job_id)
+        assert final and [e["seq"] for e in entries] == [0, 1, 2]
+        repairs = read_run_log(str(tmp_path / "journal.jsonl"),
+                               event="cell_repair")
+        assert len(repairs) == 1
+        assert repairs[0]["seqs"] == [0, 1]  # exactly the lost cells
+
+    def test_repair_limit_exhaustion_fails_the_job(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner(fail_times=99)
+        pool = manual_pool(queue, runner, shard_size=4, repair_limit=1)
+        state = submit(queue, cells=2)
+        drain(pool, runner)
+        assert state.status == "failed"
+        assert "MemoryError" in state.error
+        # 1 original attempt + 1 repair round
+        assert len(runner.calls) == 2
+
+    def test_stop_requeues_unfinished_jobs(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=1)
+        state = submit(queue, cells=2)
+        shard = pool._next_shard()
+        pool._execute(runner, shard)  # 1 of 2 shards done; job unfinished
+        drained, requeued = pool.stop()
+        assert requeued == 1
+        assert state.status == "queued"
+        assert queue.next_job().spec.job_id == state.spec.job_id

@@ -1,0 +1,242 @@
+"""Durable job queue: lanes, rate limiting, backpressure, replay."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import JobSpec, parse_submit
+from repro.serve.queue import (
+    DurableJobQueue,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+    new_job_id,
+)
+from repro.telemetry import MetricsRegistry, read_run_log
+
+
+def make_spec(job_id=None, priority="batch", tenant="default",
+              idempotency_key=None, cells=2):
+    payload = {
+        "priority": priority,
+        "tenant": tenant,
+        "cells": [{"workload": "dotprod", "arch": "ooo", "seed": seed}
+                  for seed in range(cells)],
+    }
+    if idempotency_key is not None:
+        payload["idempotency_key"] = idempotency_key
+    return parse_submit(payload, job_id=job_id or new_job_id())
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# token bucket
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_retry_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        wait = bucket.try_take()
+        assert wait is not None and wait > 0
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token
+        assert bucket.try_take() is None
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+# ---------------------------------------------------------------------------
+# lanes / priority
+
+
+class TestPriorityLanes:
+    def test_interactive_dispatches_before_earlier_batch(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        batch, _ = queue.submit(make_spec(priority="batch"))
+        inter, _ = queue.submit(make_spec(priority="interactive"))
+        assert queue.next_job().spec.job_id == inter.spec.job_id
+        assert queue.next_job().spec.job_id == batch.spec.job_id
+        assert queue.next_job() is None
+
+    def test_fifo_within_a_lane(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        ids = [queue.submit(make_spec())[0].spec.job_id for _ in range(3)]
+        assert [queue.next_job().spec.job_id for _ in range(3)] == ids
+
+    def test_class_filter_skips_other_lanes(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        queue.submit(make_spec(priority="batch"))
+        assert queue.next_job(classes=("interactive",)) is None
+        assert queue.next_job(classes=("batch",)) is not None
+
+    def test_requeue_goes_to_lane_front(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        first, _ = queue.submit(make_spec())
+        queue.submit(make_spec())
+        state = queue.next_job()
+        assert state.spec.job_id == first.spec.job_id
+        queue.requeue(first.spec.job_id, "shutdown")
+        assert queue.next_job().spec.job_id == first.spec.job_id
+
+
+# ---------------------------------------------------------------------------
+# admission control
+
+
+class TestAdmission:
+    def test_rate_limit_is_structured_not_silent(self, tmp_path):
+        clock = FakeClock()
+        queue = DurableJobQueue(str(tmp_path), rate=1.0, burst=1,
+                                clock=clock)
+        queue.submit(make_spec(tenant="alice"))
+        with pytest.raises(RateLimited) as excinfo:
+            queue.submit(make_spec(tenant="alice"))
+        assert excinfo.value.code == "rate-limited"
+        assert excinfo.value.retry_after > 0
+        # the refused job was NOT queued
+        assert queue.depth() == 1
+        rejects = read_run_log(str(tmp_path / "journal.jsonl"),
+                               event="job_reject")
+        assert rejects and rejects[0]["code"] == "rate-limited"
+
+    def test_rate_limit_is_per_tenant(self, tmp_path):
+        clock = FakeClock()
+        queue = DurableJobQueue(str(tmp_path), rate=1.0, burst=1,
+                                clock=clock)
+        queue.submit(make_spec(tenant="alice"))
+        queue.submit(make_spec(tenant="bob"))  # bob has his own bucket
+
+    def test_backpressure_when_depth_exhausted(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path), max_depth=1)
+        queue.submit(make_spec())
+        with pytest.raises(QueueFull) as excinfo:
+            queue.submit(make_spec())
+        assert excinfo.value.code == "queue-full"
+        assert queue.depth() == 1
+
+    def test_dispatch_frees_depth(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path), max_depth=1)
+        queue.submit(make_spec())
+        queue.next_job()
+        queue.submit(make_spec())  # must not raise
+
+    def test_idempotency_returns_original_job(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        first, created = queue.submit(make_spec(idempotency_key="night-1"))
+        assert created
+        again, created = queue.submit(make_spec(idempotency_key="night-1"))
+        assert not created
+        assert again.spec.job_id == first.spec.job_id
+        assert queue.depth() == 1
+
+    def test_idempotency_is_per_tenant(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        a, _ = queue.submit(make_spec(tenant="alice", idempotency_key="k"))
+        b, _ = queue.submit(make_spec(tenant="bob", idempotency_key="k"))
+        assert a.spec.job_id != b.spec.job_id
+
+    def test_depth_gauges_track_lanes(self, tmp_path):
+        metrics = MetricsRegistry()
+        queue = DurableJobQueue(str(tmp_path), metrics=metrics)
+        queue.submit(make_spec(priority="interactive"))
+        queue.submit(make_spec(priority="batch"))
+        assert metrics.value("serve.queue.depth") == 2
+        assert metrics.value("serve.queue.depth.interactive") == 1
+        queue.next_job()
+        assert metrics.value("serve.queue.depth") == 1
+
+
+# ---------------------------------------------------------------------------
+# durability / replay
+
+
+class TestDurability:
+    def test_pending_jobs_replay_in_order(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        ids = [queue.submit(make_spec())[0].spec.job_id for _ in range(3)]
+        queue.next_job()  # dispatched but never finished -> still pending
+        queue.close()
+
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 3
+        assert [reborn.next_job().spec.job_id for _ in range(3)] == ids
+
+    def test_done_jobs_keep_results_across_restart(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec(cells=1))
+        queue.next_job()
+        envelope = {"seq": 0, "ok": True, "result": {"x": 1},
+                    "cell": {"workload": "dotprod", "arch": "ooo",
+                             "width": 8, "seed": 0}}
+        queue.append_results(state.spec.job_id, [envelope])
+        queue.mark_done(state.spec.job_id, failed_cells=0)
+        queue.close()
+
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 0
+        assert reborn.jobs[state.spec.job_id].status == "done"
+        entries, final = reborn.results(state.spec.job_id)
+        assert final and entries == [envelope]
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec())
+        queue.close()
+        with open(tmp_path / "journal.jsonl", "a") as handle:
+            handle.write('{"event": "job_enqueue", "job_id": "torn')
+
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 1
+        assert reborn.next_job().spec.job_id == state.spec.job_id
+
+    def test_failed_jobs_stay_failed(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec())
+        queue.next_job()
+        queue.mark_failed(state.spec.job_id, "worker exploded")
+        queue.close()
+
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 0
+        assert reborn.jobs[state.spec.job_id].status == "failed"
+        assert reborn.jobs[state.spec.job_id].error == "worker exploded"
+
+    def test_idempotency_survives_restart(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec(idempotency_key="k"))
+        queue.close()
+
+        reborn = DurableJobQueue(str(tmp_path))
+        again, created = reborn.submit(make_spec(idempotency_key="k"))
+        assert not created
+        assert again.spec.job_id == state.spec.job_id
+
+    def test_journal_spec_roundtrips(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec(priority="interactive", cells=3))
+        queue.close()
+        enqueues = read_run_log(str(tmp_path / "journal.jsonl"),
+                                event="job_enqueue")
+        spec = JobSpec.from_dict(enqueues[0]["spec"])
+        assert json.dumps(spec.to_dict(), sort_keys=True) \
+            == json.dumps(state.spec.to_dict(), sort_keys=True)

@@ -54,6 +54,67 @@ def test_empty_best_raises():
         SweepResult([]).best(lambda p: p.ipc)
 
 
+# ---------------------------------------------------------------------------
+# failure aggregation: quarantined cells degrade the sweep, never crash it
+
+
+@pytest.fixture(scope="module")
+def failing_result(tmp_path_factory):
+    """A sweep where one workload axis value cannot possibly run."""
+    runner = ExperimentRunner(
+        target_ops=600,
+        cache_dir=str(tmp_path_factory.mktemp("failing-sweep")),
+        retries=0,
+    )
+    return sweep(
+        {"arch": ["inorder", "ooo"]},
+        workloads=["dotprod", "no_such_kernel"],
+        runner=runner,
+    )
+
+
+def test_quarantined_cells_become_failed_points(failing_result):
+    from repro.analysis.runner import FailedResult
+
+    assert len(failing_result) == 4  # the broken cells are NOT dropped
+    failed = failing_result.failures
+    assert len(failed) == 2
+    assert all(isinstance(p.result, FailedResult) for p in failed)
+    assert all(p.workload == "no_such_kernel" for p in failed)
+    assert all(not p.ok for p in failed)
+
+
+def test_healthy_cells_are_untouched_by_failures(failing_result):
+    healthy = [p for p in failing_result.points if p.ok]
+    assert len(healthy) == 2
+    assert all(p.workload == "dotprod" for p in healthy)
+    assert all(p.ipc > 0 for p in healthy)
+
+
+def test_aggregations_skip_failures_instead_of_raising(failing_result):
+    # geomean over a sweep containing failures: healthy cells only
+    assert failing_result.geomean_ipc() > 0
+    assert failing_result.geomean_ipc(arch="ooo") > 0
+    # best never selects (or touches the ipc of) a quarantined cell
+    best = failing_result.best(lambda p: p.ipc)
+    assert best.ok and best.workload == "dotprod"
+
+
+def test_filter_keeps_failures_visible(failing_result):
+    sub = failing_result.filter(arch="ooo")
+    assert len(sub) == 2
+    assert len(sub.failures) == 1
+
+
+def test_all_failed_sweep_raises_only_on_best(failing_result):
+    from repro.analysis.sweep import SweepResult
+
+    broken = SweepResult(failing_result.failures)
+    assert len(broken.failures) == 2
+    with pytest.raises(ValueError):
+        broken.best(lambda p: p.ipc)
+
+
 def test_sweep_with_custom_builder(tmp_path):
     from repro.core.config import config_for
 
