@@ -11,7 +11,10 @@ skipped as timer noise.
 Reports must describe the same matrix (ops, workloads, arches); a
 mismatch exits 2 instead of producing a meaningless diff.  A ``jobs``
 or ``cpu_count`` difference is only warned about — those are
-machine-dependent, and the serial phases stay comparable.
+machine-dependent, and the serial phases stay comparable.  Likewise a
+phase present in only one report (new harness phase, retired phase, or
+a phase recorded as skipped on this machine) is warned about, never
+failed on — snapshots from different harness versions stay diffable.
 
 Usage (the CI perf gate; see docs/performance.md)::
 
@@ -76,17 +79,47 @@ def compare_reports(
 ) -> Tuple[List[Dict[str, object]], List[str]]:
     """Diff every phase present in both reports.
 
-    Returns ``(rows, regressions)``: one row per compared phase (phase,
-    old/new seconds, ratio, verdict) and a flat list of human-readable
+    Returns ``(rows, regressions)``: one row per phase (phase, old/new
+    seconds, ratio, verdict) and a flat list of human-readable
     regression descriptions (empty = gate passes).
+
+    A phase present in only one report — the harness grew a new phase,
+    an old one was retired, or a machine-dependent phase was recorded
+    as skipped (e.g. ``parallel_cold`` on a single-core runner) — gets
+    a warning row but can never regress: snapshots from different
+    harness versions stay diffable.
     """
     if threshold <= 1.0:
         raise ValueError(f"threshold must exceed 1.0, got {threshold}")
     rows: List[Dict[str, object]] = []
     regressions: List[str] = []
-    for phase, old in baseline.get("phases", {}).items():
-        new = fresh.get("phases", {}).get(phase)
-        if new is None or "seconds" not in old or "seconds" not in new:
+    fresh_phases = fresh.get("phases", {})
+    baseline_phases = baseline.get("phases", {})
+    for phase in fresh_phases:
+        if phase not in baseline_phases:
+            rows.append({
+                "phase": phase, "old_seconds": None,
+                "new_seconds": fresh_phases[phase].get("seconds"),
+                "ratio": None,
+                "verdict": "warning: not in baseline (new phase)",
+            })
+    for phase, old in baseline_phases.items():
+        new = fresh_phases.get(phase)
+        if new is None or "seconds" not in new:
+            why = ("skipped in new report: " + str(new["skipped"])
+                   if new and "skipped" in new else "missing from new report")
+            rows.append({
+                "phase": phase, "old_seconds": old.get("seconds"),
+                "new_seconds": None, "ratio": None,
+                "verdict": f"warning: {why}",
+            })
+            continue
+        if "seconds" not in old:
+            rows.append({
+                "phase": phase, "old_seconds": None,
+                "new_seconds": new.get("seconds"), "ratio": None,
+                "verdict": "warning: skipped in baseline",
+            })
             continue
         old_s, new_s = float(old["seconds"]), float(new["seconds"])
         row: Dict[str, object] = {
@@ -125,11 +158,15 @@ def compare_reports(
 def format_rows(rows: List[Dict[str, object]]) -> str:
     header = f"{'phase':<22} {'old (s)':>9} {'new (s)':>9} {'ratio':>6}  verdict"
     lines = [header, "-" * len(header)]
+
+    def seconds(value) -> str:
+        return f"{value:>9.3f}" if isinstance(value, (int, float)) else f"{'—':>9}"
+
     for row in rows:
         ratio = row["ratio"]
         lines.append(
-            f"{row['phase']:<22} {row['old_seconds']:>9.3f} "
-            f"{row['new_seconds']:>9.3f} "
+            f"{row['phase']:<22} {seconds(row['old_seconds'])} "
+            f"{seconds(row['new_seconds'])} "
             f"{ratio if ratio is not None else 'n/a':>6}  {row['verdict']}"
         )
     return "\n".join(lines)

@@ -139,6 +139,13 @@ def _make_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="cycles between time-series samples "
                           "(default 1000; implies --metrics)")
+    sim.add_argument("--profile", action="store_true",
+                     help="run under cProfile and print the top functions "
+                          "by cumulative time (bypasses the result cache "
+                          "so a real simulation is what gets profiled)")
+    sim.add_argument("--profile-out", default=None, metavar="FILE",
+                     help="also dump raw cProfile stats here for pstats/"
+                          "snakeviz (implies --profile)")
 
     cmp_cmd = sub.add_parser("compare", help="compare designs on a workload")
     cmp_cmd.add_argument("workload", choices=sorted(KERNELS))
@@ -410,8 +417,39 @@ def _print_stall_tables(result) -> None:
     ))
 
 
+def _profiled_simulate(args, cfg):
+    """Run one simulation under cProfile; returns the SimResult.
+
+    Bypasses the result cache on purpose: a cache hit would profile a
+    JSON load, not the pipeline.  The trace is built *before* the
+    profiler starts, so the report shows simulation cost only.
+    """
+    import cProfile
+    import pstats
+
+    from .core.pipeline import simulate as _simulate
+    from .workloads.suite import get_trace
+
+    trace = get_trace(args.workload, args.ops, args.seed)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = _simulate(trace, cfg)
+    profiler.disable()
+    if args.profile_out:
+        profiler.dump_stats(args.profile_out)
+        print(f"wrote cProfile stats: {args.profile_out}", file=sys.stderr)
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(25)
+    return result
+
+
 def _cmd_simulate(args) -> int:
     cfg = config_for(args.arch, width=args.width)
+    profiling = args.profile or args.profile_out is not None
+    if profiling and (args.metrics or args.sample_interval or args.trace_out):
+        print("--profile measures an undecorated run; ignoring "
+              "--metrics/--sample-interval/--trace-out", file=sys.stderr)
+        args.metrics, args.sample_interval, args.trace_out = False, None, None
     metrics_on = args.metrics or args.sample_interval is not None
     registry = sampler = None
     if metrics_on:
@@ -419,7 +457,9 @@ def _cmd_simulate(args) -> int:
 
         registry = MetricsRegistry()
         sampler = IntervalSampler(args.sample_interval or 1000)
-    if args.trace_out or metrics_on:
+    if profiling:
+        result = _profiled_simulate(args, cfg)
+    elif args.trace_out or metrics_on:
         result, tracer, _ = _traced_run(args.workload, args.arch, args,
                                         metrics=registry, sampler=sampler)
         if args.trace_out:

@@ -8,6 +8,8 @@ from .config import (
     config_for,
 )
 from .ifop import InFlightOp
+from .lockstep import run_lockstep
+from .optable import OpTable
 from .pipeline import DeadlockError, Pipeline, SimulationDeadlock, simulate
 from .ports import PORT_MAPS_BY_WIDTH, PortFile
 from .regready import ReadyFile
@@ -21,6 +23,8 @@ __all__ = [
     "SchedulerParams",
     "config_for",
     "InFlightOp",
+    "OpTable",
+    "run_lockstep",
     "DeadlockError",
     "Pipeline",
     "SimulationDeadlock",

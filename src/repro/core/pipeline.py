@@ -39,6 +39,7 @@ from ..telemetry.tracer import Tracer
 from ..workloads.trace import Trace
 from .config import CoreConfig
 from .ifop import InFlightOp
+from .optable import OpTable
 from .ports import PORT_MAPS_BY_WIDTH, PortFile
 from .regready import ReadyFile
 from .rob import ReorderBuffer
@@ -155,11 +156,17 @@ class Pipeline:
         self.pending_redirect: Optional[int] = None  # seq of blocking branch
         self._last_ifetch_line = -1
 
+        # structure-of-arrays op storage: every InFlightOp this pipeline
+        # hands out is a recycled view over one row of this table, sized
+        # so steady state never grows it (ROB + front-end queues).
+        self.ops = OpTable(
+            config.rob_size + config.alloc_queue + 2 * config.decode_width
+        )
         self.decode_queue: Deque[InFlightOp] = deque()
         self.dispatch_queue: Deque[Tuple[int, InFlightOp]] = deque()
         self.inflight: Dict[int, InFlightOp] = {}
         self.wakeup = WakeupScoreboard(self.inflight, self.ready)
-        self._events: List[Tuple[int, int, int, str, InFlightOp]] = []
+        self._events: List[Tuple[int, int, int, str, InFlightOp, int]] = []
         self._event_counter = 0
         self._store_issued: Dict[int, int] = {}  # store seq -> issue cycle
         self._taint: Dict[int, int] = {}  # preg -> tainting load seq
@@ -183,24 +190,28 @@ class Pipeline:
         # O(1): the wakeup scoreboard keeps this count current (each
         # completion decrements its consumers during the completion phase
         # of the cycle it lands in — exactly when a per-src poll of the
-        # ReadyFile would have started returning True).
-        return ifop.wake_pending == 0
+        # ReadyFile would have started returning True).  Reads the op
+        # table column directly: this is the hottest query in the model.
+        return ifop._t.wake_pending[ifop._i] == 0
 
     def mdp_dep_satisfied(self, ifop: InFlightOp) -> bool:
         # O(1): set at dispatch iff the dependence store had not issued
         # yet, cleared by the store's issue broadcast.
-        return not ifop.mdp_waiting
+        return ifop._t.mdp_waiting[ifop._i] == 0
 
     def op_ready(self, ifop: InFlightOp, cycle: int) -> bool:
         """All register operands ready and any MDP dependence satisfied."""
-        return ifop.wake_pending == 0 and not ifop.mdp_waiting
+        table = ifop._t
+        slot = ifop._i
+        return table.wake_pending[slot] == 0 and table.mdp_waiting[slot] == 0
 
     def try_grant(self, ifop: InFlightOp, cycle: int) -> bool:
         """Request this op's issue port; True (and consumed) if granted."""
-        opcode = ifop.opcode
+        opcode = ifop._t.op[ifop._i].opcode
         klass = opcode.op_class
-        if self.ports.can_issue(ifop.port, klass, cycle):
-            self.ports.grant(ifop.port, klass, cycle, opcode.latency,
+        port = ifop._t.port[ifop._i]
+        if self.ports.can_issue(port, klass, cycle):
+            self.ports.grant(port, klass, cycle, opcode.latency,
                              opcode.pipelined)
             return True
         return False
@@ -221,44 +232,73 @@ class Pipeline:
                 ``max_cycles``.  The exception carries a full pipeline
                 snapshot for post-mortem diagnosis.
         """
-        total = len(self.trace)
-        deadlock_cycles = self.config.deadlock_cycles
-        last_commit_cycle = 0
-        last_fetch_cycle = 0
-        last_issue_cycle = 0
-        fetched_before = issued_before = 0
-        while self.commit_count < total:
-            before = self.commit_count
-            self._commit()
-            if self.commit_count != before:
-                last_commit_cycle = self.cycle
-            self._process_events()
-            self._issue()
-            self._dispatch()
-            self._rename_stage()
-            self._fetch()
-            if self.attribution is not None:
-                self.attribution.record_cycle(self, self.commit_count != before)
-            if self.check_invariants:
-                self._assert_invariants()
-            if self.stats.fetched != fetched_before:
-                fetched_before = self.stats.fetched
-                last_fetch_cycle = self.cycle
-            if self.stats.issued != issued_before:
-                issued_before = self.stats.issued
-                last_issue_cycle = self.cycle
-            self.cycle += 1
-            if self.sampler is not None:
-                self.sampler.tick(self)
-            if deadlock_cycles and self.cycle - last_commit_cycle > deadlock_cycles:
-                raise self._deadlock(
-                    f"no commit since cycle {last_commit_cycle} "
-                    f"(now {self.cycle}, watchdog {deadlock_cycles}; "
-                    f"last issue {last_issue_cycle}, "
-                    f"last fetch {last_fetch_cycle})"
-                )
-            if self.cycle > max_cycles:
-                raise self._deadlock(f"max_cycles ({max_cycles}) exceeded")
+        self.begin(max_cycles)
+        while self.step():
+            pass
+        return self.finalize()
+
+    def begin(self, max_cycles: int = 50_000_000) -> None:
+        """Arm the per-run bookkeeping so :meth:`step` can be called.
+
+        Split out of :meth:`run` so external drivers — notably the
+        lock-step multi-config runner (:mod:`repro.core.lockstep`) —
+        can interleave single cycles of many pipelines.  ``run()`` is
+        exactly ``begin()``; ``while step(): pass``; ``finalize()``.
+        """
+        self._total = len(self.trace)
+        self._max_cycles = max_cycles
+        self._deadlock_cycles = self.config.deadlock_cycles
+        self._last_commit_cycle = 0
+        self._last_fetch_cycle = 0
+        self._last_issue_cycle = 0
+        self._fetched_before = 0
+        self._issued_before = 0
+
+    def step(self) -> bool:
+        """Advance one cycle; False once the whole trace has committed.
+
+        Raises :class:`DeadlockError` exactly as :meth:`run` does; a
+        driver stepping several pipelines catches it per pipeline.
+        """
+        if self.commit_count >= self._total:
+            return False
+        before = self.commit_count
+        self._commit()
+        if self.commit_count != before:
+            self._last_commit_cycle = self.cycle
+        self._process_events()
+        self._issue()
+        self._dispatch()
+        self._rename_stage()
+        self._fetch()
+        if self.attribution is not None:
+            self.attribution.record_cycle(self, self.commit_count != before)
+        if self.check_invariants:
+            self._assert_invariants()
+        stats = self.stats
+        if stats.fetched != self._fetched_before:
+            self._fetched_before = stats.fetched
+            self._last_fetch_cycle = self.cycle
+        if stats.issued != self._issued_before:
+            self._issued_before = stats.issued
+            self._last_issue_cycle = self.cycle
+        self.cycle += 1
+        if self.sampler is not None:
+            self.sampler.tick(self)
+        deadlock_cycles = self._deadlock_cycles
+        if deadlock_cycles and self.cycle - self._last_commit_cycle > deadlock_cycles:
+            raise self._deadlock(
+                f"no commit since cycle {self._last_commit_cycle} "
+                f"(now {self.cycle}, watchdog {deadlock_cycles}; "
+                f"last issue {self._last_issue_cycle}, "
+                f"last fetch {self._last_fetch_cycle})"
+            )
+        if self.cycle > self._max_cycles:
+            raise self._deadlock(f"max_cycles ({self._max_cycles}) exceeded")
+        return self.commit_count < self._total
+
+    def finalize(self) -> SimResult:
+        """Seal the stats and build the :class:`SimResult` (call once)."""
         self.stats.cycles = self.cycle
         if self.attribution is not None:
             self.stats.stall_cycles = self.attribution.totals()
@@ -345,48 +385,71 @@ class Pipeline:
     # commit
     # ==================================================================
     def _commit(self) -> None:
+        entries = self.rob._entries
+        if not entries:
+            return
+        table = self.ops
+        completed = table.completed
+        if not completed[entries[0]._i]:
+            return
         tracer = self.tracer
+        metrics = self.metrics
         for _ in range(self.config.commit_width):
-            if not self.rob.commit_ready():
+            if not entries or not completed[entries[0]._i]:
                 return
-            ifop = self.rob.pop_head()
-            seq = ifop.seq
+            ifop = entries.popleft()
+            slot = ifop._i
+            seq = table.seq[slot]
             if tracer is not None:
                 tracer.emit(self.cycle, seq, "commit")
-            if ifop.is_store:
+            if table.is_store[slot]:
                 entry = self.lsu.commit_store(seq)
                 # retire the store's write into the data cache
                 self.hier.access_data(
-                    entry.addr, self.cycle, is_write=True, pc=ifop.op.pc
+                    entry.addr, self.cycle, is_write=True,
+                    pc=table.op[slot].pc,
                 )
-            elif ifop.is_load:
+            elif table.is_load[slot]:
                 self.lsu.commit_load(seq)
-            self.rename.commit_mapping(ifop.prev_dest_preg)
-            if ifop.prev_dest_preg is not None:
-                self.ready.release(ifop.prev_dest_preg)
+            prev_dest = table.prev_dest_preg[slot]
+            self.rename.commit_mapping(prev_dest)
+            if prev_dest is not None:
+                self.ready.release(prev_dest)
             self.stats.breakdown.record(ifop)
             self.energy["rob_commit"] += 1
             self._store_issued.pop(seq, None)
             self.inflight.pop(seq, None)
             if self.record_commits:
-                self.commit_log.append(ifop.op)
-            if self.metrics is not None:
-                self.metrics.count("pipeline.commit_ops")
+                self.commit_log.append(table.op[slot])
+            if metrics is not None:
+                metrics.count("pipeline.commit_ops")
             self.commit_count += 1
             self.stats.committed += 1
+            table.free(ifop)  # recycle the slot (and the view)
 
     # ==================================================================
     # completion / execution events
     # ==================================================================
     def _schedule(self, when: int, ifop: InFlightOp, kind: str) -> None:
         self._event_counter += 1
-        heapq.heappush(self._events, (when, ifop.seq, self._event_counter, kind, ifop))
+        table = ifop._t
+        slot = ifop._i
+        heapq.heappush(
+            self._events,
+            (when, table.seq[slot], self._event_counter, kind, ifop,
+             table.gen[slot]),
+        )
 
     def _process_events(self) -> None:
         events = self._events
+        ops_gen = self.ops.gen
         while events and events[0][0] <= self.cycle:
-            when, seq, _, kind, ifop = heapq.heappop(events)
-            if self.inflight.get(seq) is not ifop:
+            when, seq, _, kind, ifop, gen = heapq.heappop(events)
+            # Stale events are detected by identity *and* generation:
+            # with recycled views, a squashed-and-refetched op can alias
+            # the very object this event captured, but its slot was
+            # re-allocated so the generation stamp moved on.
+            if self.inflight.get(seq) is not ifop or ops_gen[ifop._i] != gen:
                 continue  # squashed-and-refetched: stale event
             if kind == "exec":
                 self._complete(ifop, when)
@@ -396,21 +459,25 @@ class Pipeline:
                 self._store_agu(ifop, when)
 
     def _complete(self, ifop: InFlightOp, when: int) -> None:
-        ifop.completed = True
-        ifop.complete_cycle = when
+        table = ifop._t
+        slot = ifop._i
+        table.completed[slot] = 1
+        table.complete_cycle[slot] = when
         tracer = self.tracer
         if tracer is not None:
-            tracer.emit(when, ifop.seq, "writeback")
-        if ifop.dest_preg is not None:
-            self.ready.mark_ready(ifop.dest_preg, when)
+            tracer.emit(when, table.seq[slot], "writeback")
+        dest_preg = table.dest_preg[slot]
+        if dest_preg is not None:
+            self.ready.mark_ready(dest_preg, when)
             self.energy["prf_write"] += 1
-            self.scheduler.on_wakeup(ifop.dest_preg, when)
-            for waiter in self.wakeup.wake(ifop.dest_preg, when):
-                self.scheduler.on_op_ready(waiter, when)
+            scheduler = self.scheduler
+            scheduler.on_wakeup(dest_preg, when)
+            for waiter in self.wakeup.wake(dest_preg, when):
+                scheduler.on_op_ready(waiter, when)
             if tracer is not None:
-                tracer.emit(when, ifop.seq, "wakeup", f"p{ifop.dest_preg}")
+                tracer.emit(when, table.seq[slot], "wakeup", f"p{dest_preg}")
         self.scheduler.on_complete(ifop, when)
-        if ifop.mispredicted and ifop.is_branch:
+        if table.mispredicted[slot] and table.is_branch[slot]:
             # the front end was stopped at this branch; redirect resolves now
             self.fetch_resume_at = max(
                 self.fetch_resume_at, when + self.config.recovery_penalty
@@ -478,53 +545,69 @@ class Pipeline:
 
     def _do_issue(self, ifop: InFlightOp) -> None:
         cycle = self.cycle
-        ifop.issued = True
-        ifop.issue_cycle = cycle
+        table = ifop._t
+        slot = ifop._i
+        table.issued[slot] = 1
+        table.issue_cycle[slot] = cycle
+        opcode = table.op[slot].opcode
+        src_pregs = table.src_pregs[slot]
         self.stats.issued += 1
-        self.energy["prf_read"] += len(ifop.src_pregs)
-        self.energy[_FU_EVENT[ifop.opcode.op_class]] += 1
+        energy = self.energy
+        energy["prf_read"] += len(src_pregs)
+        energy[_FU_EVENT[opcode.op_class]] += 1
         # reconstruct when the op actually became ready (for Fig. 3c/12)
-        ready_at = ifop.dispatch_cycle
-        for preg in ifop.src_pregs:
-            ready_at = max(ready_at, self.ready.ready_cycle(preg))
-        dep = ifop.mdp_dep_seq
+        ready_at = table.dispatch_cycle[slot]
+        ready_cycle = self.ready.ready_cycle
+        for preg in src_pregs:
+            at = ready_cycle(preg)
+            if at > ready_at:
+                ready_at = at
+        dep = table.mdp_dep_seq[slot]
         if dep is not None and dep in self._store_issued:
             ready_at = max(ready_at, self._store_issued[dep])
-        ifop.ready_cycle = min(ready_at, cycle)
+        table.ready_cycle[slot] = ready_at if ready_at < cycle else cycle
         if self.metrics is not None:
             self.metrics.count("pipeline.issue_ops")
-            self.metrics.count(f"pipeline.issue_port.{ifop.port}")
+            self.metrics.count(f"pipeline.issue_port.{table.port[slot]}")
         if self.tracer is not None:
-            self.tracer.emit(cycle, ifop.seq, "issue", f"port{ifop.port}")
-            if not (ifop.is_load or ifop.is_store):
+            seq = table.seq[slot]
+            self.tracer.emit(cycle, seq, "issue", f"port{table.port[slot]}")
+            if not (table.is_load[slot] or table.is_store[slot]):
                 self.tracer.emit(
-                    cycle + 1, ifop.seq, "execute",
-                    ifop.opcode.op_class.name.lower(),
+                    cycle + 1, seq, "execute",
+                    opcode.op_class.name.lower(),
                 )
 
-        if ifop.is_load:
+        if table.is_load[slot]:
             self._schedule(cycle + 1, ifop, "load_agu")
-        elif ifop.is_store:
+        elif table.is_store[slot]:
+            seq = table.seq[slot]
             if self.mdp is not None:
-                self.mdp.store_issued(ifop.op.pc, ifop.seq)
-            self._store_issued[ifop.seq] = cycle
-            for waiter in self.wakeup.store_issued(ifop.seq):
+                self.mdp.store_issued(table.op[slot].pc, seq)
+            self._store_issued[seq] = cycle
+            for waiter in self.wakeup.store_issued(seq):
                 self.scheduler.on_op_ready(waiter, cycle)
             self._schedule(cycle + 1, ifop, "store_agu")
         else:
-            self._schedule(cycle + ifop.opcode.latency, ifop, "exec")
+            self._schedule(cycle + opcode.latency, ifop, "exec")
 
     # ==================================================================
     # dispatch
     # ==================================================================
     def _dispatch(self) -> None:
+        queue = self.dispatch_queue
+        if not queue:
+            return
         cycle = self.cycle
         dispatched = 0
-        queue = self.dispatch_queue
         attribution = self.attribution
         metrics = self.metrics
-        while queue and dispatched < self.config.decode_width:
+        table = self.ops
+        energy = self.energy
+        width = self.config.decode_width
+        while queue and dispatched < width:
             available_at, ifop = queue[0]
+            slot = ifop._i
             if available_at > cycle or self.rob.full:
                 if self.rob.full:
                     if attribution is not None:
@@ -532,13 +615,15 @@ class Pipeline:
                     if metrics is not None:
                         metrics.count("pipeline.dispatch_block.rob_full")
                 return
-            if ifop.is_load and self.lsu.lq_full():
+            is_load = table.is_load[slot]
+            is_store = table.is_store[slot]
+            if is_load and self.lsu.lq_full():
                 if attribution is not None:
                     attribution.note_dispatch_block("lq_full")
                 if metrics is not None:
                     metrics.count("pipeline.dispatch_block.lq_full")
                 return
-            if ifop.is_store and self.lsu.sq_full():
+            if is_store and self.lsu.sq_full():
                 if attribution is not None:
                     attribution.note_dispatch_block("sq_full")
                 if metrics is not None:
@@ -551,33 +636,34 @@ class Pipeline:
                     metrics.count("pipeline.dispatch_block.iq_full")
                 return
             queue.popleft()
-            ifop.dispatch_cycle = cycle
+            table.dispatch_cycle[slot] = cycle
+            seq = table.seq[slot]
             if self.tracer is not None:
-                self.tracer.emit(cycle, ifop.seq, "dispatch")
+                self.tracer.emit(cycle, seq, "dispatch")
             self.rob.append(ifop)
-            if ifop.is_load:
-                self.lsu.allocate_load(ifop.seq, ifop.op.pc)
-                self.energy["lsq_write"] += 1
-            elif ifop.is_store:
-                self.lsu.allocate_store(ifop.seq, ifop.op.pc)
-                self.energy["lsq_write"] += 1
+            if is_load:
+                self.lsu.allocate_load(seq, table.op[slot].pc)
+                energy["lsq_write"] += 1
+            elif is_store:
+                self.lsu.allocate_store(seq, table.op[slot].pc)
+                energy["lsq_write"] += 1
             # MDP is consulted here, adjacent to steering (the paper does
             # both alongside rename; keeping them in the same stage stops
             # a younger same-set store from clearing the LFST steering
             # hint before this op's steering decision reads it)
-            if self.mdp is not None and (ifop.is_load or ifop.is_store):
-                if ifop.is_store:
-                    dep = self.mdp.store_dispatched(ifop.op.pc, ifop.seq)
+            if self.mdp is not None and (is_load or is_store):
+                if is_store:
+                    dep = self.mdp.store_dispatched(table.op[slot].pc, seq)
                 else:
-                    dep = self.mdp.load_dispatched(ifop.op.pc)
-                self.energy["mdp_access"] += 1
-                if dep is not None and self.commit_count <= dep < ifop.seq:
-                    ifop.mdp_dep_seq = dep
+                    dep = self.mdp.load_dispatched(table.op[slot].pc)
+                energy["mdp_access"] += 1
+                if dep is not None and self.commit_count <= dep < seq:
+                    table.mdp_dep_seq[slot] = dep
                     if dep not in self._store_issued:
                         self.wakeup.register_mdp(ifop)
             self.scheduler.insert(ifop, cycle)
-            self.energy["dispatch"] += 1
-            self.energy["rob_write"] += 1
+            energy["dispatch"] += 1
+            energy["rob_write"] += 1
             if metrics is not None:
                 metrics.count("pipeline.dispatch_ops")
             dispatched += 1
@@ -588,55 +674,72 @@ class Pipeline:
     def _classify(self, ifop: InFlightOp) -> None:
         """Tag the op Ld / LdC / Rst at dispatch time (paper Fig. 3c)."""
         taint = self._taint
-        if ifop.is_load:
-            ifop.klass = "Ld"
-            if ifop.dest_preg is not None:
-                taint[ifop.dest_preg] = ifop.seq
+        table = ifop._t
+        slot = ifop._i
+        dest_preg = table.dest_preg[slot]
+        if table.is_load[slot]:
+            table.klass[slot] = "Ld"
+            if dest_preg is not None:
+                taint[dest_preg] = table.seq[slot]
             return
         alive: Optional[int] = None
-        for preg in ifop.src_pregs:
-            load_seq = taint.get(preg)
-            if load_seq is None:
-                continue
-            producer = self.inflight.get(load_seq)
-            if producer is not None and not producer.completed:
-                alive = load_seq
-                break
-        ifop.klass = "LdC" if alive is not None else "Rst"
-        if ifop.dest_preg is not None:
+        if taint:
+            inflight = self.inflight
+            completed = table.completed
+            for preg in table.src_pregs[slot]:
+                load_seq = taint.get(preg)
+                if load_seq is None:
+                    continue
+                producer = inflight.get(load_seq)
+                if producer is not None and not completed[producer._i]:
+                    alive = load_seq
+                    break
+        table.klass[slot] = "LdC" if alive is not None else "Rst"
+        if dest_preg is not None:
             if alive is not None:
-                taint[ifop.dest_preg] = alive
+                taint[dest_preg] = alive
             else:
-                taint.pop(ifop.dest_preg, None)
+                taint.pop(dest_preg, None)
 
     def _rename_stage(self) -> None:
+        queue = self.decode_queue
+        if not queue:
+            return
         cycle = self.cycle
         renamed = 0
-        queue = self.decode_queue
-        while queue and renamed < self.config.decode_width:
+        table = self.ops
+        fetch_latency = self.config.fetch_latency
+        rename_latency = self.config.rename_latency
+        width = self.config.decode_width
+        dispatch_queue = self.dispatch_queue
+        while queue and renamed < width:
             ifop = queue[0]
-            if ifop.decode_cycle + self.config.fetch_latency > cycle:
+            slot = ifop._i
+            if table.decode_cycle[slot] + fetch_latency > cycle:
                 return
-            op = ifop.op
+            op = table.op[slot]
             if not self.rename.can_rename(op):
                 if self.metrics is not None:
                     self.metrics.count("pipeline.rename_stall")
                 return  # stall until physical registers free up
             queue.popleft()
             rename_rec = self.rename.rename(op)
-            ifop.dest_preg = rename_rec.dest_preg
-            ifop.src_pregs = rename_rec.src_pregs
-            ifop.prev_dest_preg = rename_rec.prev_dest_preg
-            ifop.dest_arch = rename_rec.dest_arch
-            if ifop.dest_preg is not None:
-                self.ready.mark_pending(ifop.dest_preg)
+            dest_preg = rename_rec.dest_preg
+            table.dest_preg[slot] = dest_preg
+            table.src_pregs[slot] = rename_rec.src_pregs
+            table.prev_dest_preg[slot] = rename_rec.prev_dest_preg
+            table.dest_arch[slot] = rename_rec.dest_arch
+            if dest_preg is not None:
+                self.ready.mark_pending(dest_preg)
             self.wakeup.register(ifop, cycle)
-            ifop.port = self.ports.assign(op.opcode.op_class)
+            table.port[slot] = self.ports.assign(op.opcode.op_class)
             self._classify(ifop)
             if self.tracer is not None:
-                self.tracer.emit(cycle, ifop.seq, "rename", ifop.klass)
+                self.tracer.emit(
+                    cycle, table.seq[slot], "rename", table.klass[slot]
+                )
             self.energy["rename"] += 1
-            self.dispatch_queue.append((cycle + self.config.rename_latency, ifop))
+            dispatch_queue.append((cycle + rename_latency, ifop))
             renamed += 1
 
     # ==================================================================
@@ -648,10 +751,22 @@ class Pipeline:
             return
         fetched = 0
         trace = self.trace
+        trace_len = len(trace)
+        if self.fetch_index >= trace_len:
+            return
+        decode_queue = self.decode_queue
+        width = self.config.decode_width
+        alloc_queue = self.config.alloc_queue
+        tracer = self.tracer
+        metrics = self.metrics
+        ops = self.ops
+        inflight = self.inflight
+        stats = self.stats
+        energy = self.energy
         while (
-            fetched < self.config.decode_width
-            and self.fetch_index < len(trace)
-            and len(self.decode_queue) < self.config.alloc_queue
+            fetched < width
+            and self.fetch_index < trace_len
+            and len(decode_queue) < alloc_queue
         ):
             op = trace[self.fetch_index]
             line = (CODE_BASE + op.pc * 4) // LINE_SIZE
@@ -662,17 +777,17 @@ class Pipeline:
                 if extra > 0:
                     self.fetch_resume_at = cycle + extra
                     return  # I-cache miss: stall before consuming the op
-            ifop = InFlightOp(seq=op.seq, op=op, decode_cycle=cycle)
-            self.inflight[op.seq] = ifop
-            if self.tracer is not None:
-                self.tracer.note_op(op.seq, op.pc, op.opcode.name)
-                self.tracer.emit(cycle, op.seq, "fetch")
-            self.decode_queue.append(ifop)
-            self.energy["fetch"] += 1
-            if self.metrics is not None:
-                self.metrics.count("pipeline.fetch_ops")
+            ifop = ops.alloc(op.seq, op, cycle)
+            inflight[op.seq] = ifop
+            if tracer is not None:
+                tracer.note_op(op.seq, op.pc, op.opcode.name)
+                tracer.emit(cycle, op.seq, "fetch")
+            decode_queue.append(ifop)
+            energy["fetch"] += 1
+            if metrics is not None:
+                metrics.count("pipeline.fetch_ops")
             self.fetch_index += 1
-            self.stats.fetched += 1
+            stats.fetched += 1
             fetched += 1
             if op.is_branch:
                 if not self._fetch_branch(ifop):
@@ -741,6 +856,7 @@ class Pipeline:
             self.ports.unassign(ifop.port)
             self.energy["rat_recover"] += 1
             self.inflight.pop(ifop.seq, None)
+            self.ops.free(ifop)
         self.decode_queue = deque(
             ifop for ifop in self.decode_queue if ifop.seq < from_seq
         )
@@ -755,6 +871,7 @@ class Pipeline:
                 self.ports.unassign(ifop.port)
             self.energy["rat_recover"] += 1
             self.inflight.pop(ifop.seq, None)
+            self.ops.free(ifop)
         # 3) scheduler, LSQ, and MDP.  The MDP sweep covers both squashed
         #    stores (their LFST entries die, whatever their pc) and the
         #    stale-reservation case: an MDA-steered load squashed while
@@ -767,10 +884,12 @@ class Pipeline:
         self._store_issued = {
             seq: cyc for seq, cyc in self._store_issued.items() if seq < from_seq
         }
-        # 4) drop stale inflight entries for anything younger (paranoia:
-        #    events are invalidated by identity, but the map must not leak)
+        # 4) drop stale inflight entries for anything younger — this is
+        #    where decode-queue ops (never renamed) give their slot back.
+        #    Events/wakeup entries are invalidated by identity+generation,
+        #    but the map must not leak and slots must be recycled.
         for seq in [s for s in self.inflight if s >= from_seq]:
-            del self.inflight[seq]
+            self.ops.free(self.inflight.pop(seq))
         # 5) refetch from the squashed load after the recovery penalty
         self.fetch_index = from_seq
         self.fetch_resume_at = max(

@@ -20,8 +20,14 @@ can never have live waiters (a consumer of the old mapping is always
 older than the op whose commit/squash released it).
 
 Stale entries (squashed-and-refetched ops) are invalidated by object
-identity against the pipeline's ``inflight`` map, mirroring how the
-pipeline's event queue discards stale completion events.
+identity against the pipeline's ``inflight`` map *and* by the op-table
+generation stamp captured at registration time, mirroring how the
+pipeline's event queue discards stale completion events.  Identity
+alone stopped being sufficient when :class:`InFlightOp` became a
+recycled view over :class:`~repro.core.optable.OpTable` — a refetched
+op can alias the very object a stale bucket holds — and the generation
+alone is insufficient for standalone (table-less) test ops, so both
+are checked.
 """
 
 from __future__ import annotations
@@ -40,10 +46,10 @@ class WakeupScoreboard:
     def __init__(self, inflight: Dict[int, InFlightOp], ready: "ReadyFile"):
         self._inflight = inflight
         self._ready = ready
-        #: preg -> ops with at least one outstanding read of that preg
-        self._consumers: Dict[int, List[InFlightOp]] = {}
-        #: store seq -> ops waiting on that store's issue (MDP dependence)
-        self._mdp_waiters: Dict[int, List[InFlightOp]] = {}
+        #: preg -> (op, gen) pairs with an outstanding read of that preg
+        self._consumers: Dict[int, List[Tuple[InFlightOp, int]]] = {}
+        #: store seq -> (op, gen) pairs waiting on that store's issue
+        self._mdp_waiters: Dict[int, List[Tuple[InFlightOp, int]]] = {}
         self.broadcasts = 0
         self.wakeups = 0
 
@@ -60,20 +66,25 @@ class WakeupScoreboard:
         pending = 0
         ready = self._ready
         consumers = self._consumers
-        for preg in ifop.src_pregs:
+        table = ifop._t
+        slot = ifop._i
+        entry = (ifop, table.gen[slot])
+        for preg in table.src_pregs[slot]:
             if not ready.is_ready(preg, cycle):
                 pending += 1
                 bucket = consumers.get(preg)
                 if bucket is None:
-                    consumers[preg] = [ifop]
+                    consumers[preg] = [entry]
                 else:
-                    bucket.append(ifop)
-        ifop.wake_pending = pending
+                    bucket.append(entry)
+        table.wake_pending[slot] = pending
 
     def register_mdp(self, ifop: InFlightOp) -> None:
         """The op's MDP dependence store has not issued yet: park it."""
         ifop.mdp_waiting = True
-        self._mdp_waiters.setdefault(ifop.mdp_dep_seq, []).append(ifop)
+        self._mdp_waiters.setdefault(ifop.mdp_dep_seq, []).append(
+            (ifop, ifop.gen)
+        )
 
     # ------------------------------------------------------------------
     # broadcasts (completion / store-issue time)
@@ -91,13 +102,19 @@ class WakeupScoreboard:
         self.broadcasts += 1
         inflight = self._inflight
         woken: List[InFlightOp] = []
-        for ifop in consumers:
-            if inflight.get(ifop.seq) is not ifop:
-                continue  # squashed (and possibly refetched): stale entry
-            ifop.wake_pending -= 1
-            self.wakeups += 1
-            if ifop.wake_pending == 0 and not ifop.mdp_waiting:
+        wakeups = 0
+        for ifop, gen in consumers:
+            table = ifop._t
+            slot = ifop._i
+            # stale if squashed (identity) or slot recycled (generation)
+            if inflight.get(table.seq[slot]) is not ifop or table.gen[slot] != gen:
+                continue
+            pending = table.wake_pending[slot] - 1
+            table.wake_pending[slot] = pending
+            wakeups += 1
+            if pending == 0 and not table.mdp_waiting[slot]:
                 woken.append(ifop)
+        self.wakeups += wakeups
         return tuple(woken)
 
     def store_issued(self, seq: int) -> Tuple[InFlightOp, ...]:
@@ -107,9 +124,9 @@ class WakeupScoreboard:
             return ()
         inflight = self._inflight
         woken: List[InFlightOp] = []
-        for ifop in waiters:
-            if inflight.get(ifop.seq) is not ifop:
-                continue  # stale (squashed consumer)
+        for ifop, gen in waiters:
+            if inflight.get(ifop.seq) is not ifop or ifop.gen != gen:
+                continue  # stale (squashed consumer or recycled slot)
             ifop.mdp_waiting = False
             if ifop.wake_pending == 0:
                 woken.append(ifop)

@@ -116,7 +116,7 @@ class BallerinoScheduler(SchedulerBase):
                 break  # producer's queue is full: become a new head
         # 3) a fresh dependence head: empty P-IQ first
         for index, piq in enumerate(self.piqs):
-            if piq.empty:
+            if not piq.count:
                 return SteerDecision(target=index, partition=0,
                                      outcome="alloc", ready=ready)
         # 4) P-IQ sharing
@@ -125,7 +125,7 @@ class BallerinoScheduler(SchedulerBase):
                 index for index, piq in enumerate(self.piqs) if piq.shareable()
             ]
             if candidates:
-                index = min(candidates, key=lambda j: self.piqs[j].occupancy())
+                index = min(candidates, key=lambda j: self.piqs[j].count)
                 return SteerDecision(target=index, partition=1,
                                      outcome="share", ready=ready)
         return SteerDecision(target=None, partition=0, outcome="stall",
@@ -184,27 +184,40 @@ class BallerinoScheduler(SchedulerBase):
     def select(self, cycle: int) -> List[InFlightOp]:
         issued: List[InFlightOp] = []
         core = self.core
+        try_grant = core.try_grant
+        energy = self.energy
+        select_inputs = 0
         # phase 1: P-IQ heads (upper prefix-sum inputs -> higher priority)
+        head_states = self.head_states
         for index, piq in enumerate(self.piqs):
-            if piq.empty:
-                self.head_states["empty"] += 1
+            if not piq.count:
+                head_states["empty"] += 1
                 continue
             issued_partition: Optional[int] = None
-            for partition, head in piq.active_heads():
-                self.energy["select_input"] += 1
-                if not core.srcs_ready(head, cycle):
-                    self.head_states["wait_operand"] += 1
+            # common case inlined: a non-sharing P-IQ examines exactly
+            # its FIFO head (active_heads() would build a fresh list)
+            if piq.sharing:
+                heads = piq.active_heads()
+            else:
+                heads = ((0, piq.partitions[0][0]),)
+            for partition, head in heads:
+                select_inputs += 1
+                table = head._t
+                slot = head._i
+                # inlined core.srcs_ready / core.mdp_dep_satisfied
+                if table.wake_pending[slot]:
+                    head_states["wait_operand"] += 1
                     continue
-                if not core.mdp_dep_satisfied(head):
-                    self.head_states["wait_mdep"] += 1
+                if table.mdp_waiting[slot]:
+                    head_states["wait_mdep"] += 1
                     continue
-                if not core.try_grant(head, cycle):
-                    self.head_states["port_conflict"] += 1
+                if not try_grant(head, cycle):
+                    head_states["port_conflict"] += 1
                     continue
                 piq.pop_head(partition, collapse=False)
                 self.steer.clear(head.dest_preg)
-                self.energy["iq_read"] += 1
-                self.head_states["issue"] += 1
+                energy["iq_read"] += 1
+                head_states["issue"] += 1
                 self.issued_piq += 1
                 issued.append(head)
                 issued_partition = partition
@@ -229,27 +242,37 @@ class BallerinoScheduler(SchedulerBase):
         # issues from the S-IQ next cycle (cycle-by-cycle chain issue).
         # If nothing in the window is ready, the whole window is steered,
         # advancing the speculative window toward younger ops.
-        window = list(self.siq)[: self.siq_window]
-        if not window:
+        siq = self.siq
+        window_len = len(siq)
+        if not window_len:
+            energy["select_input"] += select_inputs
             return issued
+        if window_len > self.siq_window:
+            window_len = self.siq_window
+        window = [siq[i] for i in range(window_len)]
+        select_inputs += window_len
         issued_mask = []
         ready_mask = []
         for op in window:
-            self.energy["select_input"] += 1
-            ready = core.op_ready(op, cycle)
-            granted = ready and core.try_grant(op, cycle)
+            table = op._t
+            slot = op._i
+            ready = (
+                table.wake_pending[slot] == 0 and table.mdp_waiting[slot] == 0
+            )
+            granted = ready and try_grant(op, cycle)
             ready_mask.append(ready)
             issued_mask.append(granted)
             if granted:
-                self.energy["iq_read"] += 1
+                energy["iq_read"] += 1
                 self.issued_siq += 1
                 issued.append(op)
+        energy["select_input"] += select_inputs
         if any(issued_mask):
             limit = max(i for i, ok in enumerate(issued_mask) if ok)
         else:
             limit = len(window)
-        for _ in window:
-            self.siq.popleft()
+        for _ in range(window_len):
+            siq.popleft()
         kept: List[InFlightOp] = []
         blocked = False
         for i, op in enumerate(window):
@@ -305,7 +328,7 @@ class BallerinoScheduler(SchedulerBase):
                     )
 
     def occupancy(self) -> int:
-        return len(self.siq) + sum(piq.occupancy() for piq in self.piqs)
+        return len(self.siq) + sum(piq.count for piq in self.piqs)
 
     def queue_occupancy(self) -> Dict[str, int]:
         out = {"siq": len(self.siq)}

@@ -10,7 +10,7 @@ prioritising by sequence number instead of slot position (Fig. 11's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core.ifop import InFlightOp
 from .base import SchedulerBase
@@ -34,7 +34,11 @@ class OutOfOrderScheduler(SchedulerBase):
         # tests drive schedulers with stripped-down fake cores that
         # poll their own readiness — those keep the scanning path.
         self._event_driven = getattr(core, "wakeup", None) is not None
-        self._ready_ops: List[InFlightOp] = []
+        # (op, generation) pairs: with recycled InFlightOp views a slot
+        # residency check alone can alias a flushed-and-reinserted op,
+        # so entries carry the op-table generation captured when the op
+        # became ready (see repro.core.optable).
+        self._ready_ops: List[Tuple[InFlightOp, int]] = []
 
     def can_accept(self, ifop: InFlightOp) -> bool:
         return self._count < self.iq_size
@@ -46,14 +50,14 @@ class OutOfOrderScheduler(SchedulerBase):
         self._count += 1
         self.energy["iq_write"] += 1
         if self._event_driven and self.core.op_ready(ifop, cycle):
-            self._ready_ops.append(ifop)
+            self._ready_ops.append((ifop, ifop.gen))
 
     def on_op_ready(self, ifop: InFlightOp, cycle: int) -> None:
         # only track ops currently resident in this window (the identity
         # check also rejects stale iq_index values left by other queues)
         index = ifop.iq_index
         if 0 <= index < self.iq_size and self._slots[index] is ifop:
-            self._ready_ops.append(ifop)
+            self._ready_ops.append((ifop, ifop.gen))
 
     def select(self, cycle: int) -> List[InFlightOp]:
         core = self.core
@@ -61,39 +65,50 @@ class OutOfOrderScheduler(SchedulerBase):
             return []
         # every occupied entry feeds the per-port prefix-sum circuits
         self.energy["select_input"] += self._count
-        if self._event_driven:
-            # drop entries that issued or were flushed since they woke
-            candidates = [
-                op for op in self._ready_ops if self._slots[op.iq_index] is op
-            ]
+        event_driven = self._event_driven
+        if event_driven:
+            # drop entries that issued, were flushed, or whose view was
+            # recycled for a new op since they woke (generation check)
+            slots = self._slots
+            candidates = []
+            for pair in self._ready_ops:
+                op = pair[0]
+                table = op._t
+                index = table.iq_index[op._i]
+                if slots[index] is op and table.gen[op._i] == pair[1]:
+                    candidates.append(pair)
             # restore the prefix-sum examination order: slot position
             # (or age under oldest-first) — identical to a full scan
             candidates.sort(
-                key=(lambda op: op.seq) if self.oldest_first
-                else (lambda op: op.iq_index)
+                key=(lambda pair: pair[0]._t.seq[pair[0]._i])
+                if self.oldest_first
+                else (lambda pair: pair[0]._t.iq_index[pair[0]._i])
             )
         else:
-            candidates = [op for op in self._slots if op is not None]
+            candidates = [
+                (op, 0) for op in self._slots if op is not None
+            ]
             if self.oldest_first:
-                candidates.sort(key=lambda op: op.seq)
+                candidates.sort(key=lambda pair: pair[0].seq)
         issued: List[InFlightOp] = []
-        leftover: List[InFlightOp] = []
+        leftover: List[Tuple[InFlightOp, int]] = []
         width = core.config.issue_width
-        for position, op in enumerate(candidates):
+        for position, pair in enumerate(candidates):
+            op = pair[0]
             if len(issued) >= width:
-                if self._event_driven:
+                if event_driven:
                     leftover.extend(candidates[position:])
                 break
             if not core.op_ready(op, cycle):
                 continue
             if not core.try_grant(op, cycle):
-                if self._event_driven:
-                    leftover.append(op)  # stays ready; retry next cycle
+                if event_driven:
+                    leftover.append(pair)  # stays ready; retry next cycle
                 continue
             self._remove(op)
             self.energy["iq_read"] += 1
             issued.append(op)
-        if self._event_driven:
+        if event_driven:
             self._ready_ops = leftover
         return issued
 

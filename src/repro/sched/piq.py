@@ -41,20 +41,27 @@ class SharedPIQ:
         self.partitions: List[Deque[InFlightOp]] = [deque()]
         self.active = 0  # partition whose head is examined this cycle
         self.share_activations = 0
+        #: total resident entries, maintained incrementally.  Profiles
+        #: showed the old sum-over-partitions ``occupancy()`` dominating
+        #: ballerino's select phase (~86k calls per 3k-op sim between
+        #: occupancy/empty/sharing probes), so the count is now updated
+        #: at the three mutation points (append / pop_head / flush_from)
+        #: and cross-checked by :meth:`debug_check`.
+        self.count = 0
+        #: plain attribute mirroring ``len(partitions) == 2`` — probed
+        #: every cycle by every caller, so it is maintained at the two
+        #: mode transitions instead of recomputed (debug_check verifies).
+        self.sharing = False
 
     # ------------------------------------------------------------------
     # mode / capacity
     # ------------------------------------------------------------------
-    @property
-    def sharing(self) -> bool:
-        return len(self.partitions) == 2
-
     def occupancy(self) -> int:
-        return sum(len(p) for p in self.partitions)
+        return self.count
 
     @property
     def empty(self) -> bool:
-        return self.occupancy() == 0
+        return self.count == 0
 
     def partition_capacity(self) -> int:
         return self.size // 2 if self.sharing else self.size
@@ -69,22 +76,24 @@ class SharedPIQ:
         # holds (ideal sharing may start with >size/2 entries resident,
         # so a per-partition half cap would both overflow the queue and
         # wedge the resident chain's partition)
-        return self.occupancy() < self.size
+        return self.count < self.size
 
     def shareable(self) -> bool:
         """Can the steer logic activate sharing mode on this queue?"""
-        if self.sharing or self.empty:
+        count = self.count
+        if count == 0 or self.sharing:
             return False
         if self.ideal:
-            return self.occupancy() < self.size  # any free entry suffices
+            return count < self.size  # any free entry suffices
         # head and tail within the same physical half <=> occupancy <= size/2
-        return self.occupancy() <= self.size // 2
+        return count <= self.size // 2
 
     def activate_sharing(self) -> int:
         """Split into two partitions; returns the new partition's index."""
         if not self.shareable():
             raise RuntimeError("P-IQ not eligible for sharing")
         self.partitions.append(deque())
+        self.sharing = True
         self.share_activations += 1
         return 1
 
@@ -101,10 +110,12 @@ class SharedPIQ:
         if self.sharing:
             if not self.partitions[1]:
                 self.partitions.pop()
+                self.sharing = False
                 self.active = 0
                 return {1: 0}  # partition 1 ceased to exist
             if not self.partitions[0]:
                 self.partitions[0] = self.partitions.pop()
+                self.sharing = False
                 self.active = 0
                 for op in self.partitions[0]:
                     op.iq_partition = 0
@@ -118,6 +129,7 @@ class SharedPIQ:
         if not self.has_space(partition):
             raise RuntimeError("P-IQ partition overflow")
         self.partitions[partition].append(ifop)
+        self.count += 1
 
     def tail(self, partition: int) -> Optional[InFlightOp]:
         queue = self.partitions[partition] if partition < len(self.partitions) else None
@@ -150,6 +162,7 @@ class SharedPIQ:
         afterwards.
         """
         ifop = self.partitions[partition].popleft()
+        self.count -= 1
         if collapse:
             self._maybe_collapse()
         return ifop
@@ -199,6 +212,7 @@ class SharedPIQ:
         for queue in self.partitions:
             while queue and queue[-1].seq >= seq:
                 queue.pop()
+                self.count -= 1
         return self._maybe_collapse()
 
     def debug_check(self) -> None:
@@ -208,6 +222,10 @@ class SharedPIQ:
         capacity, or head-pointer contracts.
         """
         assert 1 <= len(self.partitions) <= 2, "partition count out of range"
+        assert self.sharing == (len(self.partitions) == 2), (
+            f"sharing flag drifted: sharing={self.sharing}, "
+            f"{len(self.partitions)} partitions"
+        )
         assert 0 <= self.active < len(self.partitions), (
             f"active partition {self.active} dangles "
             f"({len(self.partitions)} partitions)"
@@ -227,7 +245,11 @@ class SharedPIQ:
                     f"op {op.seq} records partition {op.iq_partition}, "
                     f"lives in {index}"
                 )
-        assert self.occupancy() <= self.size, "P-IQ over total capacity"
+        assert self.count == sum(len(p) for p in self.partitions), (
+            f"incremental count drifted: count={self.count}, "
+            f"partitions hold {sum(len(p) for p in self.partitions)}"
+        )
+        assert self.count <= self.size, "P-IQ over total capacity"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = "/".join(str(len(p)) for p in self.partitions)

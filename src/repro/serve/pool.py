@@ -19,6 +19,15 @@ Dispatch priority (per worker, every time it frees up):
 3. a buffered **batch** shard;
 4. a newly queued **batch** job.
 
+Below the thread pool sits the **lock-step batching tier**: a shard's
+cells typically share a (workload, seed) — only the config varies — so
+the runner's serial path groups them and advances every config's
+pipeline over the once-decoded trace in a single pass
+(:mod:`repro.core.lockstep`).  Results are bit-identical to per-cell
+execution; ``lockstep=False`` opts the pool out for A/B measurement.
+Raising ``shard_size`` widens the groups (more configs amortise each
+trace decode); shards still bound the unit of loss.
+
 Gap repair: a shard lost to a crashing worker thread leaves holes in
 its job's sequence space; the failing worker resubmits exactly the
 missing cells as a repair shard (journaled as ``cell_repair``), up to
@@ -77,6 +86,7 @@ class WorkerPool:
         repair_limit: int = 2,
         metrics: Optional[MetricsRegistry] = None,
         poll_interval: float = 0.2,
+        lockstep: Optional[bool] = None,
     ):
         if shard_size <= 0:
             raise ValueError("shard_size must be positive")
@@ -88,6 +98,9 @@ class WorkerPool:
         self.repair_limit = repair_limit
         self.metrics = metrics
         self.poll_interval = poll_interval
+        #: lock-step batching tier knob, passed through to run_many
+        #: (None defers to the runner / $REPRO_LOCKSTEP)
+        self.lockstep = lockstep
         self._lock = threading.Lock()
         self._shards: Dict[str, List[_Shard]] = {
             "interactive": [], "batch": []}
@@ -145,6 +158,11 @@ class WorkerPool:
     @property
     def quarantined_cells(self) -> int:
         return sum(len(runner.quarantined) for runner in self._runners)
+
+    @property
+    def lockstep_groups(self) -> int:
+        """Lock-step groups executed across every worker's runner."""
+        return sum(runner.lockstep_groups for runner in self._runners)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -206,7 +224,10 @@ class WorkerPool:
 
     def _execute(self, runner: ExperimentRunner, shard: _Shard) -> None:
         tasks = [cell.task(runner.seed) for cell in shard.cells]
-        results = runner.run_many(tasks, jobs=self.shard_jobs)
+        # Forward the lock-step knob only when explicitly set; otherwise
+        # the runner's own default (REPRO_LOCKSTEP) governs.
+        extra = {} if self.lockstep is None else {"lockstep": self.lockstep}
+        results = runner.run_many(tasks, jobs=self.shard_jobs, **extra)
         run = shard.run
         released: List[Tuple[int, Dict]] = []
         with self._lock:

@@ -158,6 +158,9 @@ def capture_snapshot(pipe, reason: str = "") -> Dict:
         },
         "lfst": _lfst_state(pipe.mdp) if pipe.mdp is not None else [],
         "pending_events": len(pipe._events),
+        # aggregate over the structure-of-arrays op table (numpy fast
+        # path when available; see repro.core.optable.OpTable.summary)
+        "op_table": pipe.ops.summary(),
     }
     if pipe.attribution is not None:
         snap["stall_cycles"] = pipe.attribution.totals()
@@ -233,5 +236,11 @@ def render_snapshot(snapshot: Dict) -> str:
             for k, v in snapshot["stall_cycles"].items() if v
         )
         add(f"  stall attribution: {parts}")
+    table = snapshot.get("op_table")
+    if table:
+        add(f"  op table: {table['live']}/{table['capacity']} live "
+            f"({table['issued']} issued, {table['completed']} completed, "
+            f"{table['waiting_sources']} waiting on sources, "
+            f"{table['waiting_mdp']} on MDP)")
     add(f"  pending completion events: {snapshot['pending_events']}")
     return "\n".join(lines)

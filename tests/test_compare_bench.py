@@ -98,12 +98,35 @@ class TestCompareReports:
         )
         assert regressions == []
 
-    def test_phase_missing_from_new_report_is_ignored(self):
+    def test_phase_missing_from_new_report_warns_not_fails(self):
         fresh = _report()
         del fresh["phases"]["single_sim_ooo"]
         rows, regressions = compare_bench.compare_reports(_report(), fresh)
         assert regressions == []
-        assert "single_sim_ooo" not in {r["phase"] for r in rows}
+        row = next(r for r in rows if r["phase"] == "single_sim_ooo")
+        assert row["verdict"].startswith("warning:")
+        assert row["new_seconds"] is None
+
+    def test_phase_only_in_new_report_warns_not_fails(self):
+        fresh = _report()
+        fresh["phases"]["lockstep_sweep"] = {
+            "seconds": 1.0, "sims_per_sec": 12.0}
+        rows, regressions = compare_bench.compare_reports(_report(), fresh)
+        assert regressions == []
+        row = next(r for r in rows if r["phase"] == "lockstep_sweep")
+        assert row["verdict"].startswith("warning:")
+        assert row["old_seconds"] is None
+
+    def test_skipped_phase_marker_warns_not_fails(self):
+        fresh = _report()
+        fresh["phases"]["single_sim_ooo"] = {
+            "skipped": "cpu_count == 1"}
+        rows, regressions = compare_bench.compare_reports(_report(), fresh)
+        assert regressions == []
+        row = next(r for r in rows if r["phase"] == "single_sim_ooo")
+        assert "skipped in new report" in row["verdict"]
+        # warning rows must render (None seconds) without raising
+        assert "single_sim_ooo" in compare_bench.format_rows(rows)
 
 
 class TestComparability:
