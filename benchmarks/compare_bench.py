@@ -42,6 +42,10 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: rate fields a phase may carry (higher is better)
 RATE_KEYS = ("sims_per_sec", "kcycles_per_sec")
 
+#: the work counter behind each rate — a rate only means something when
+#: the phase actually did that work (see the zero-work guard below)
+RATE_WORK_KEYS = {"sims_per_sec": "simulations", "kcycles_per_sec": "cycles"}
+
 
 def find_baseline(root: Path = REPO_ROOT) -> Optional[Path]:
     """Newest committed ``BENCH*.json`` by name (BENCH_PR5 > BENCH_PR2)."""
@@ -141,12 +145,27 @@ def compare_reports(
             )
         for key in RATE_KEYS:
             old_rate, new_rate = old.get(key), new.get(key)
-            if not old_rate or not new_rate:
+            if old_rate is None or new_rate is None:
                 continue
-            if float(old_rate) > float(new_rate) * threshold:
+            # Rates are only comparable when BOTH snapshots did work in
+            # this phase.  Truthiness (`not old_rate`) used to stand in
+            # for this check, conflating a 0.0 rate with a missing one:
+            # 0.0-vs-0.0 silently passed, and a 0.0 baseline rate could
+            # never fail any fresh value.  Gate on the underlying work
+            # counter instead, then treat a fresh rate of 0 with real
+            # work behind it as the regression it is.
+            work_key = RATE_WORK_KEYS[key]
+            if not old.get(work_key) or not new.get(work_key):
+                continue
+            old_r, new_r = float(old_rate), float(new_rate)
+            if old_r <= 0:
+                continue  # baseline rate rounded to zero: no reference
+            if new_r <= 0:
+                bad.append(f"{key} {old_rate} -> {new_rate} (stalled)")
+            elif old_r > new_r * threshold:
                 bad.append(
                     f"{key} {old_rate} -> {new_rate} "
-                    f"({float(old_rate) / float(new_rate):.2f}x slower)"
+                    f"({old_r / new_r:.2f}x slower)"
                 )
         if bad:
             row["verdict"] = "REGRESSION: " + "; ".join(bad)

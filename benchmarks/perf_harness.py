@@ -40,10 +40,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro.analysis.runner import ExperimentRunner  # noqa: E402
 from repro.core.config import config_for  # noqa: E402
 from repro.core.pipeline import simulate  # noqa: E402
+from repro.core.sampling import with_sampling  # noqa: E402
 from repro.workloads.suite import SMOKE_NAMES, get_trace  # noqa: E402
 
 SMOKE_ARCHES = ("ooo", "ballerino", "ces")
 FULL_ARCHES = ("inorder", "ooo", "ces", "casino", "fxa", "ballerino", "dnb")
+
+#: the sampled-vs-full speedup microbench: one long trace, knobs tuned so
+#: ~4.5% of it is measured (3 windows) and the rest fast-forwarded with a
+#: bounded warm-up stretch before each window (docs/performance.md)
+SAMPLED_OPS = 200_000
+SAMPLED_KNOBS = dict(period=67_000, window=3_000, warmup=0,
+                     ff_warmup_ops=2_000)
 
 
 def _phase(fn):
@@ -149,6 +157,45 @@ def run_harness(ops: int, jobs: int, smoke: bool) -> dict:
             "cycles": result.cycles,
             "kcycles_per_sec": round(result.cycles / seconds / 1000, 1),
         }
+
+    # 5) sampled sweep: the same matrix through the sampled tier, cold
+    #    cache — exercises dispatch + extrapolation end to end and pins
+    #    its overhead in the regression gate
+    sampled_tasks = [
+        (w, with_sampling(config_for(a), period=1000, window=1000, warmup=0))
+        for a in arches for w in workloads
+    ]
+    with tempfile.TemporaryDirectory() as sampled_dir:
+        runner = ExperimentRunner(target_ops=ops, cache_dir=sampled_dir)
+        seconds, _ = _phase(
+            lambda: runner.run_many(sampled_tasks, jobs=1, lockstep=False))
+        record("sampled_sweep", seconds, runner)
+
+    # 6) sampled speedup: one long trace, full-detail vs sampled — the
+    #    headline number (>= 10x with < 5% IPC error, docs/performance.md)
+    long_trace = get_trace("stream_triad", SAMPLED_OPS, 7)
+    full_cfg = config_for("ooo")
+    seconds, full = _phase(lambda: simulate(long_trace, full_cfg))
+    report["phases"]["single_full_200k"] = {
+        "seconds": round(seconds, 3),
+        "cycles": full.cycles,
+        "kcycles_per_sec": round(full.cycles / seconds / 1000, 1),
+    }
+    sampled_cfg = with_sampling(full_cfg, **SAMPLED_KNOBS)
+    seconds, sampled = _phase(lambda: simulate(long_trace, sampled_cfg))
+    report["phases"]["single_sampled_200k"] = {
+        "seconds": round(seconds, 3),
+        "cycles": sampled.cycles,
+        "kcycles_per_sec": round(sampled.cycles / seconds / 1000, 1),
+        "windows": sampled.sampling["windows"],
+        "measured_ops": sampled.sampling["measured_ops"],
+    }
+    full_s = report["phases"]["single_full_200k"]["seconds"]
+    sampled_s = report["phases"]["single_sampled_200k"]["seconds"]
+    report["sampled_speedup"] = (
+        round(full_s / sampled_s, 2) if sampled_s else None)
+    report["sampled_ipc_error"] = (
+        round(abs(sampled.ipc - full.ipc) / full.ipc, 4) if full.ipc else None)
     return report
 
 
@@ -191,6 +238,13 @@ def main(argv=None) -> int:
         p = phases[f"single_sim_{arch}"]
         print(f"  single {arch:10s} {p['seconds']:6.2f}s "
               f"({p['kcycles_per_sec']} kcycles/s)")
+    print(f"  sampled sweep  {phases['sampled_sweep']['seconds']:8.2f}s "
+          f"({phases['sampled_sweep']['sims_per_sec']} sims/s)")
+    print(f"  sampled 200k   "
+          f"{phases['single_sampled_200k']['seconds']:8.2f}s vs "
+          f"{phases['single_full_200k']['seconds']:.2f}s full "
+          f"(speedup {report['sampled_speedup']}x, "
+          f"IPC err {100 * report['sampled_ipc_error']:.1f}%)")
     return 0
 
 

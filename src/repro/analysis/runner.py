@@ -282,6 +282,16 @@ class ExperimentRunner:
                 "config": config.name,
                 "sched": vars(config.scheduler) if hasattr(config.scheduler, "__dict__")
                 else str(config.scheduler),
+                # sampled and full runs of the same cell coexist in one
+                # cache: the sampling knobs join the key whenever the
+                # config samples (None keeps full-run keys stable
+                # across knob-default changes)
+                "sampling": (
+                    [config.sample_period, config.sample_window,
+                     config.warmup_cycles, config.ff_width,
+                     config.ff_warmup_ops]
+                    if getattr(config, "sample_period", 0) else None
+                ),
             },
             sort_keys=True,
             default=str,

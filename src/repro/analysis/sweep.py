@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..core.config import CoreConfig, config_for
+from ..core.sampling import with_sampling
 from ..core.stats import SimResult
 from ..workloads.suite import SUITE_NAMES
 from .runner import ExperimentRunner, geomean
@@ -96,6 +97,7 @@ def sweep(
     workloads: Sequence[str] = SUITE_NAMES,
     runner: Optional[ExperimentRunner] = None,
     jobs: Optional[int] = None,
+    sampling: Optional[Dict[str, int]] = None,
 ) -> SweepResult:
     """Run the cartesian product of ``axes`` over ``workloads``.
 
@@ -110,6 +112,11 @@ def sweep(
         jobs: worker processes for the uncached cells (``None``: the
             runner's default; ``1``: serial).  Results are identical
             either way — parallel workers merge through the disk cache.
+        sampling: when given, every built config is wrapped with
+            :func:`~repro.core.sampling.with_sampling` (keys: ``period``,
+            ``window``, ``warmup``, ``ff_width``, ``ff_warmup_ops``) so
+            the whole sweep runs in sampled mode; ``{}`` uses the
+            defaults.  Sampled cells cache separately from full runs.
 
     Example::
 
@@ -127,6 +134,8 @@ def sweep(
     for combo in itertools.product(*(axes[name] for name in names)):
         params = dict(zip(names, combo))
         config = config_builder(**params)
+        if sampling is not None:
+            config = with_sampling(config, **sampling)
         for workload in workloads:
             cells.append((params, workload, config))
     results = runner.run_many(

@@ -88,6 +88,52 @@ def _version_string() -> str:
     return f"repro {package} (serve protocol {PROTOCOL_VERSION})"
 
 
+def _add_sampling_flags(parser: argparse.ArgumentParser) -> None:
+    """The sampled-simulation flag group shared by simulate/suite."""
+    group = parser.add_argument_group("sampled simulation")
+    group.add_argument("--sample", action="store_true",
+                       help="SimPoint-style sampled simulation: fast-"
+                            "forward between detailed measured windows "
+                            "and extrapolate whole-run statistics "
+                            "(docs/performance.md)")
+    group.add_argument("--sample-period", type=int, default=None,
+                       metavar="OPS",
+                       help="micro-ops between measured-window starts "
+                            "(default 20000; implies --sample)")
+    group.add_argument("--sample-window", type=int, default=None,
+                       metavar="OPS",
+                       help="committed micro-ops measured per window "
+                            "(default 2000; implies --sample)")
+    group.add_argument("--warmup-cycles", type=int, default=None,
+                       metavar="N",
+                       help="detailed unmeasured cycles before each "
+                            "window (default 0: measure the whole "
+                            "window; implies --sample)")
+    group.add_argument("--ff-width", type=int, default=None, metavar="W",
+                       help="micro-ops retired per fast-forward cycle "
+                            "(default 8; implies --sample)")
+    group.add_argument("--ff-warmup-ops", type=int, default=None,
+                       metavar="OPS",
+                       help="cap on warming micro-ops per fast-forward "
+                            "stretch, 0 = warm everything (implies "
+                            "--sample)")
+
+
+def _sampling_from_args(args) -> Optional[dict]:
+    """``with_sampling`` kwargs from the CLI flags, or None (full run)."""
+    knobs = {
+        "period": args.sample_period,
+        "window": args.sample_window,
+        "warmup": args.warmup_cycles,
+        "ff_width": args.ff_width,
+        "ff_warmup_ops": args.ff_warmup_ops,
+    }
+    knobs = {key: value for key, value in knobs.items() if value is not None}
+    if not args.sample and not knobs:
+        return None
+    return knobs
+
+
 def _make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +192,7 @@ def _make_parser() -> argparse.ArgumentParser:
     sim.add_argument("--profile-out", default=None, metavar="FILE",
                      help="also dump raw cProfile stats here for pstats/"
                           "snakeviz (implies --profile)")
+    _add_sampling_flags(sim)
 
     cmp_cmd = sub.add_parser("compare", help="compare designs on a workload")
     cmp_cmd.add_argument("workload", choices=sorted(KERNELS))
@@ -190,6 +237,7 @@ def _make_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite", help="run the whole suite on one design")
     suite.add_argument("arch", choices=_ALL_ARCHES)
+    _add_sampling_flags(suite)
 
     sub.add_parser("report", help="print the paper-vs-measured report")
 
@@ -451,13 +499,26 @@ def _cmd_simulate(args) -> int:
               "--metrics/--sample-interval/--trace-out", file=sys.stderr)
         args.metrics, args.sample_interval, args.trace_out = False, None, None
     metrics_on = args.metrics or args.sample_interval is not None
+    sampling = _sampling_from_args(args)
+    if sampling is not None and (profiling or metrics_on or args.trace_out):
+        # telemetry hooks force full-detail simulation, so a "sampled
+        # traced run" cannot exist — refuse rather than silently pick one
+        print("--sample cannot be combined with --metrics/"
+              "--sample-interval/--trace-out/--profile (telemetry "
+              "requires a full-detail run)", file=sys.stderr)
+        return 2
     registry = sampler = None
     if metrics_on:
         from .telemetry import IntervalSampler, MetricsRegistry
 
         registry = MetricsRegistry()
         sampler = IntervalSampler(args.sample_interval or 1000)
-    if profiling:
+    if sampling is not None:
+        from .core.sampling import with_sampling
+
+        runner = _runner(args)
+        result = runner.run(args.workload, with_sampling(cfg, **sampling))
+    elif profiling:
         result = _profiled_simulate(args, cfg)
     elif args.trace_out or metrics_on:
         result, tracer, _ = _traced_run(args.workload, args.arch, args,
@@ -489,6 +550,9 @@ def _cmd_simulate(args) -> int:
         ],
         title="simulation summary",
     ))
+    if result.sampled:
+        print()
+        _print_sampled_summary(result)
     breakdown = result.stats.breakdown.averages()
     rows = [[klass] + [breakdown[klass][seg] for seg in
                        ("decode_to_dispatch", "dispatch_to_ready",
@@ -516,6 +580,29 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _print_sampled_summary(result) -> None:
+    """Window counts, coverage and per-metric confidence intervals."""
+    info = result.sampling or {}
+    rows = [
+        ["mode", "exact" if info.get("exact") else "sampled"],
+        ["measured windows", info.get("windows", 0)],
+        ["measured ops", info.get("measured_ops", 0)],
+        ["measured cycles", info.get("measured_cycles", 0)],
+        ["fast-forwarded ops", info.get("ff_ops", 0)],
+        ["warmup ops (discarded)", info.get("warmup_ops", 0)],
+    ]
+    for metric, estimate in sorted((info.get("estimates") or {}).items()):
+        mean = estimate.get("mean")
+        ci95 = estimate.get("ci95")
+        if mean is None:
+            continue
+        value = (f"{mean:.4g}" if ci95 is None
+                 else f"{mean:.4g} +/- {ci95:.2g} (95% CI)")
+        rows.append([metric, value])
+    print(format_table(["sampled run", "value"], rows,
+                       title="sampling summary (extrapolated statistics)"))
+
+
 def _print_metrics_tables(result, registry) -> None:
     """Sparkline time-series, top counters and histograms for one run."""
     from .analysis.plotting import sparkline
@@ -530,9 +617,16 @@ def _print_metrics_tables(result, registry) -> None:
         rows = []
         for key in keys:
             data = series(samples, key)
-            rows.append([key, sparkline(data, width=40),
-                         round(min(data), 3), round(max(data), 3),
-                         round(data[-1], 3)])
+            # series() yields None where a sample lacks the key (ragged
+            # series are legal); aggregate over the present points only
+            present = [value for value in data if value is not None]
+            if not present:
+                continue
+            rows.append([key,
+                         sparkline([0.0 if value is None else value
+                                    for value in data], width=40),
+                         round(min(present), 3), round(max(present), 3),
+                         round(present[-1], 3)])
         print()
         print(format_table(
             ["series", "history", "min", "max", "last"], rows,
@@ -543,11 +637,14 @@ def _print_metrics_tables(result, registry) -> None:
         rows = []
         for category in stalls:
             data = series(samples, f"stall_fractions.{category}")
-            if max(data) <= 0:
+            present = [value for value in data if value is not None]
+            if not present or max(present) <= 0:
                 continue
             rows.append([category,
-                         sparkline(data, width=40, lo=0.0, hi=1.0),
-                         f"{100.0 * data[-1]:.1f}%"])
+                         sparkline([0.0 if value is None else value
+                                    for value in data],
+                                   width=40, lo=0.0, hi=1.0),
+                         f"{100.0 * present[-1]:.1f}%"])
         if rows:
             print()
             print(format_table(
@@ -715,8 +812,20 @@ def _report_failures(runner: ExperimentRunner) -> int:
 def _cmd_suite(args) -> int:
     runner = _runner(args)
     arches = ("inorder", args.arch)
+    sampling = _sampling_from_args(args)
+
+    def build(arch):
+        config = config_for(arch, width=args.width)
+        if sampling is not None:
+            from .core.sampling import with_sampling
+
+            # sample baseline and target alike so the speedup column
+            # compares extrapolated-vs-extrapolated, not mixed tiers
+            config = with_sampling(config, **sampling)
+        return config
+
     results = iter(runner.run_many([
-        (workload, config_for(arch, width=args.width))
+        (workload, build(arch))
         for arch in arches
         for workload in SUITE_NAMES
     ]))
@@ -739,7 +848,8 @@ def _cmd_suite(args) -> int:
                  round(geomean(speedups), 2) if speedups else "n/a"])
     print(format_table(
         ["workload", "IPC", "cycles", "speedup/InO"], rows,
-        title=f"{args.arch} @ {args.width}-wide across the suite",
+        title=f"{args.arch} @ {args.width}-wide across the suite"
+              + (" (sampled)" if sampling is not None else ""),
     ))
     return _report_failures(runner)
 

@@ -14,6 +14,13 @@ from .pipeline import DeadlockError, Pipeline, SimulationDeadlock, simulate
 from .ports import PORT_MAPS_BY_WIDTH, PortFile
 from .regready import ReadyFile
 from .rob import ReorderBuffer
+from .sampling import (
+    FastForward,
+    SampledSimulation,
+    build_simulation,
+    simulate_sampled,
+    with_sampling,
+)
 from .stats import DelayBreakdown, SimResult, SimStats
 
 __all__ = [
@@ -33,6 +40,11 @@ __all__ = [
     "PortFile",
     "ReadyFile",
     "ReorderBuffer",
+    "FastForward",
+    "SampledSimulation",
+    "build_simulation",
+    "simulate_sampled",
+    "with_sampling",
     "DelayBreakdown",
     "SimResult",
     "SimStats",

@@ -77,6 +77,25 @@ class CoreConfig:
     #: Run the per-cycle invariant checker (repro.verify.invariants).
     #: Debug/fuzzing aid — slows simulation down considerably.
     check_invariants: bool = False
+    #: Sampled-simulation knobs (see :mod:`repro.core.sampling`).  With
+    #: ``sample_period == 0`` (the default) every cycle is simulated in
+    #: detail; a positive period makes :func:`~repro.core.pipeline.
+    #: simulate` alternate fast-forward / detailed-warmup / measured
+    #: windows and return an extrapolated, ``sampled=True`` result.
+    sample_period: int = 0  # µops between measured-window starts
+    sample_window: int = 2_000  # committed µops measured per window
+    #: Detailed-but-unmeasured cycles at the start of each window.  The
+    #: default of 0 measures the whole window (fast-forward does the
+    #: warming) — in practice the most accurate protocol, because a
+    #: mid-flight measurement boundary cuts through in-flight work
+    #: (see docs/performance.md).
+    warmup_cycles: int = 0
+    ff_width: int = 8  # µops retired per fast-forward cycle
+    #: Train the front end / caches / MDP on only the last N fast-forward
+    #: µops before each window (0 = train on the whole gap).  Bounding
+    #: the warming work makes fast-forward cost independent of the gap
+    #: length at some accuracy cost on cold-miss-heavy workloads.
+    ff_warmup_ops: int = 0
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 
 

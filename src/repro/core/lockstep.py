@@ -47,8 +47,13 @@ def run_lockstep(
         configs: One :class:`CoreConfig` per simulation to run.
         max_cycles: Per-pipeline cycle ceiling (as in ``Pipeline.run``).
         pipeline_factory: Optional ``f(trace, config) -> Pipeline`` for
-            callers that need telemetry hooks attached; defaults to a
-            bare :class:`Pipeline`.
+            callers that need telemetry hooks attached; the default
+            (:func:`repro.core.sampling.build_simulation`) builds a
+            bare :class:`Pipeline`, or a
+            :class:`~repro.core.sampling.SampledSimulation` when the
+            config enables sampling — both speak the same
+            ``begin/step/finalize`` protocol, so full and sampled
+            configs can share one lock-step pass over the trace.
 
     Returns:
         One entry per config, in order: the :class:`SimResult`, or the
@@ -58,7 +63,9 @@ def run_lockstep(
         whole pass.
     """
     if pipeline_factory is None:
-        pipeline_factory = Pipeline
+        from .sampling import build_simulation
+
+        pipeline_factory = build_simulation
     pipelines: List[Optional[Pipeline]] = []
     outcomes: List[Optional[LockstepOutcome]] = [None] * len(configs)
     for index, config in enumerate(configs):

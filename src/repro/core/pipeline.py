@@ -113,6 +113,12 @@ class Pipeline:
         sampler: Optional :class:`~repro.telemetry.metrics.
             IntervalSampler`; its every-N-cycles time-series lands on
             ``SimResult.interval_samples``.
+        frontend / hierarchy / mdp: Pre-warmed front end, memory
+            hierarchy, and memory-dependence predictor to *share*
+            instead of building fresh ones — the sampled-simulation
+            driver (:mod:`repro.core.sampling`) threads one warmed set
+            through its fast-forward engine and every measured-window
+            pipeline.  Defaults build cold state, exactly as before.
     """
 
     def __init__(
@@ -126,6 +132,9 @@ class Pipeline:
         attribution: Optional[StallAttribution] = None,
         metrics: Optional[MetricsRegistry] = None,
         sampler: Optional[IntervalSampler] = None,
+        frontend: Optional[FrontEnd] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        mdp: Optional[StoreSetPredictor] = None,
     ):
         self.trace = trace
         self.config = config
@@ -133,8 +142,11 @@ class Pipeline:
         self.attribution = attribution
         self.metrics = metrics
         self.sampler = sampler
-        self.hier = MemoryHierarchy(config.hierarchy)
-        self.frontend = FrontEnd()
+        self.hier = (
+            hierarchy if hierarchy is not None
+            else MemoryHierarchy(config.hierarchy)
+        )
+        self.frontend = frontend if frontend is not None else FrontEnd()
         self.rename = RenameUnit(config.phys_int, config.phys_fp)
         self.rename.metrics = metrics
         self.ready = ReadyFile(self.rename.num_phys)
@@ -142,7 +154,8 @@ class Pipeline:
         self.lsu.tracer = tracer
         self.lsu.metrics = metrics
         self.mdp: Optional[StoreSetPredictor] = (
-            StoreSetPredictor() if config.mdp_enabled else None
+            mdp if mdp is not None
+            else (StoreSetPredictor() if config.mdp_enabled else None)
         )
         self.rob = ReorderBuffer(config.rob_size)
         self.ports = PortFile(PORT_MAPS_BY_WIDTH[config.issue_width])
@@ -237,20 +250,28 @@ class Pipeline:
             pass
         return self.finalize()
 
-    def begin(self, max_cycles: int = 50_000_000) -> None:
+    def begin(self, max_cycles: int = 50_000_000,
+              start_cycle: int = 0) -> None:
         """Arm the per-run bookkeeping so :meth:`step` can be called.
 
         Split out of :meth:`run` so external drivers — notably the
         lock-step multi-config runner (:mod:`repro.core.lockstep`) —
         can interleave single cycles of many pipelines.  ``run()`` is
         exactly ``begin()``; ``while step(): pass``; ``finalize()``.
+
+        ``start_cycle`` continues a running global clock: the sampled
+        driver's measured-window pipelines share a memory hierarchy
+        whose MSHR/fill/DRAM-row state is keyed on absolute cycles, so
+        a window must pick up the clock where fast-forward left it, not
+        restart at zero.  ``max_cycles`` stays an absolute ceiling.
         """
         self._total = len(self.trace)
         self._max_cycles = max_cycles
         self._deadlock_cycles = self.config.deadlock_cycles
-        self._last_commit_cycle = 0
-        self._last_fetch_cycle = 0
-        self._last_issue_cycle = 0
+        self.cycle = start_cycle
+        self._last_commit_cycle = start_cycle
+        self._last_fetch_cycle = start_cycle
+        self._last_issue_cycle = start_cycle
         self._fetched_before = 0
         self._issued_before = 0
 
@@ -911,7 +932,22 @@ def simulate(
     metrics: Optional[MetricsRegistry] = None,
     sampler: Optional[IntervalSampler] = None,
 ) -> SimResult:
-    """Convenience wrapper: build a :class:`Pipeline` and run it."""
+    """Convenience wrapper: build a :class:`Pipeline` and run it.
+
+    When the config enables sampling (``sample_period > 0``) and no
+    telemetry hook is attached, the run is delegated to the sampled
+    driver (:func:`repro.core.sampling.simulate_sampled`) — this is the
+    single dispatch point through which the experiment runner, sweeps,
+    and the serve worker pool inherit sampled execution.  Telemetry
+    hooks (tracer/attribution/metrics/sampler) force a full-detail run:
+    their per-µop / per-cycle semantics are undefined across
+    fast-forwarded gaps.
+    """
+    if config.sample_period > 0 and tracer is None and attribution is None \
+            and metrics is None and sampler is None:
+        from .sampling import simulate_sampled
+
+        return simulate_sampled(trace, config, max_cycles=max_cycles)
     pipeline = Pipeline(
         trace, config, tracer=tracer, attribution=attribution,
         metrics=metrics, sampler=sampler,

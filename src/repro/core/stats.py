@@ -26,7 +26,9 @@ SEGMENTS = ("decode_to_dispatch", "dispatch_to_ready", "ready_to_issue")
 #: this into their keys so on-disk entries self-invalidate whenever the
 #: result schema changes (bump it when adding/removing fields).
 #: v3: SimResult grew ``interval_samples`` / ``sample_interval``.
-RESULT_SCHEMA_VERSION = 3
+#: v4: SimResult grew ``sampled`` / ``sampling`` (sampled-simulation
+#: extrapolation metadata; see :mod:`repro.core.sampling`).
+RESULT_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -159,6 +161,14 @@ class SimResult:
     interval_samples: List[Dict] = field(default_factory=list)
     #: the sampler's N (0 when the run did not sample)
     sample_interval: int = 0
+    #: True when the stats were *extrapolated* from measured windows by
+    #: the sampled-simulation driver (:mod:`repro.core.sampling`) rather
+    #: than accumulated over every cycle.
+    sampled: bool = False
+    #: Sampled-run metadata: window count, measured/fast-forwarded op
+    #: and cycle totals, the sampling knobs used, and per-metric
+    #: ``{mean, ci95, ...}`` estimates.  Empty for full-detail runs.
+    sampling: Dict = field(default_factory=dict)
 
     #: Always ``True``; the counterpart
     #: :class:`~repro.analysis.runner.FailedResult` carries ``False``, so
@@ -199,6 +209,8 @@ class SimResult:
             "frequency_ghz": self.frequency_ghz,
             "interval_samples": self.interval_samples,
             "sample_interval": self.sample_interval,
+            "sampled": self.sampled,
+            "sampling": self.sampling,
         }
 
     @classmethod
@@ -211,4 +223,6 @@ class SimResult:
             frequency_ghz=data["frequency_ghz"],
             interval_samples=data.get("interval_samples", []),
             sample_interval=data.get("sample_interval", 0),
+            sampled=data.get("sampled", False),
+            sampling=data.get("sampling", {}),
         )

@@ -98,6 +98,20 @@ class Cache:
     def invalidate(self, line: int) -> None:
         self._set_for(line).pop(line, None)
 
+    def settle(self, cycle: int) -> None:
+        """Complete every in-flight fill: clamp fill times to ``cycle``.
+
+        Used by functional warming (:mod:`repro.core.sampling`): content
+        and LRU order are the warm state worth keeping; future fill
+        times only encode the *timing* of the warming accesses, which a
+        fast-forward stretch compresses into an unrealistically short
+        clock span.
+        """
+        for entries in self._sets:
+            for line, fill_time in entries.items():
+                if fill_time > cycle:
+                    entries[line] = cycle
+
     def resident_lines(self) -> int:
         """Total lines currently resident (for occupancy tests)."""
         return sum(len(entries) for entries in self._sets)

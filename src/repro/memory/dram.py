@@ -91,6 +91,19 @@ class DRAM:
         bank.ready_at = data_at
         return data_at + t.t_burst
 
+    def settle(self, cycle: int) -> None:
+        """Quiesce bank/bus occupancy to ``cycle``, keeping open rows.
+
+        Open-row state is warm *content* (it determines future row
+        hits); ``ready_at`` / bus occupancy are warm *timing*, which is
+        meaningless after a fast-forward stretch compressed the clock.
+        """
+        for bank in self._banks:
+            if bank.ready_at > cycle:
+                bank.ready_at = cycle
+        if self._bus_ready > cycle:
+            self._bus_ready = cycle
+
     @property
     def row_hit_rate(self) -> float:
         total = self.row_hits + self.row_misses

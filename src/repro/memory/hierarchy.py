@@ -172,6 +172,27 @@ class MemoryHierarchy:
         return AccessResult(complete_cycle=complete, level=level)
 
     # ------------------------------------------------------------------
+    def settle(self, cycle: int) -> None:
+        """Complete all in-flight timing state, keeping warm content.
+
+        After a functional fast-forward stretch (:mod:`repro.core.
+        sampling`) the hierarchy holds the right *content* — tags, LRU
+        order, open DRAM rows — but its *timing* state (future fill
+        times, outstanding MSHRs, bank/bus occupancy) reflects the
+        compressed fast-forward clock: hundreds of misses issued in a
+        few simulated cycles queue fills far into the measured window,
+        which would charge the window latency the real machine never
+        sees.  Settling declares all of that in-flight work done by
+        ``cycle`` so a measured window starts from a warm, quiescent
+        memory system.
+        """
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            cache.settle(cycle)
+        for mshr in self.mshrs.values():
+            mshr.settle()
+        self.dram.settle(cycle)
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-level hit/miss statistics plus DRAM row behaviour."""
         out: Dict[str, Dict[str, float]] = {}

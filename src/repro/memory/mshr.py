@@ -74,3 +74,12 @@ class MSHRFile:
         """Record a new outstanding miss for ``line``."""
         self._by_line[line] = completion
         heapq.heappush(self._heap, (completion, line))
+
+    def settle(self) -> None:
+        """Drop every outstanding miss (treated as already completed).
+
+        Part of the functional-warming reset between fast-forward and
+        measured execution; merge/stall statistics are kept.
+        """
+        self._by_line.clear()
+        self._heap.clear()

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..analysis.runner import ExperimentRunner
+from ..core.sampling import with_sampling
 from ..telemetry.metrics import MetricsRegistry
 from .protocol import Cell, result_envelope
 from .queue import DurableJobQueue, JobState
@@ -224,6 +225,14 @@ class WorkerPool:
 
     def _execute(self, runner: ExperimentRunner, shard: _Shard) -> None:
         tasks = [cell.task(runner.seed) for cell in shard.cells]
+        sampling = shard.run.state.spec.sampling
+        if sampling is not None:
+            # sampled tier: same cells, sampled configs — results carry
+            # sampled=True and cache separately from the full tier
+            tasks = [
+                (workload, with_sampling(config, **sampling), seed)
+                for workload, config, seed in tasks
+            ]
         # Forward the lock-step knob only when explicitly set; otherwise
         # the runner's own default (REPRO_LOCKSTEP) governs.
         extra = {} if self.lockstep is None else {"lockstep": self.lockstep}

@@ -59,6 +59,10 @@ MAX_CELLS_PER_JOB = 4096
 #: Job lifecycle states, in order.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
+#: Keys a submit's ``sampling`` object may carry — the keyword
+#: arguments of :func:`repro.core.sampling.with_sampling`.
+SAMPLING_KEYS = ("period", "window", "warmup", "ff_width", "ff_warmup_ops")
+
 
 class ProtocolError(ValueError):
     """A malformed or incompatible request payload.
@@ -162,6 +166,9 @@ class JobSpec:
     priority: str = DEFAULT_PRIORITY
     tenant: str = DEFAULT_TENANT
     idempotency_key: Optional[str] = None
+    #: ``with_sampling`` kwargs applied to every cell's config, or
+    #: ``None`` for full-detail simulation (see :data:`SAMPLING_KEYS`).
+    sampling: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -169,6 +176,7 @@ class JobSpec:
             "priority": self.priority,
             "tenant": self.tenant,
             "idempotency_key": self.idempotency_key,
+            "sampling": self.sampling,
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -180,6 +188,7 @@ class JobSpec:
             priority=data.get("priority", DEFAULT_PRIORITY),
             tenant=data.get("tenant", DEFAULT_TENANT),
             idempotency_key=data.get("idempotency_key"),
+            sampling=data.get("sampling"),
         )
 
 
@@ -223,8 +232,44 @@ def parse_submit(payload: Dict, job_id: str) -> JobSpec:
     idempotency_key = payload.get("idempotency_key")
     if idempotency_key is not None and not isinstance(idempotency_key, str):
         raise ProtocolError("bad-request", "idempotency_key must be a string")
+    sampling = _parse_sampling(payload)
     return JobSpec(job_id=job_id, cells=cells, priority=priority,
-                   tenant=tenant, idempotency_key=idempotency_key)
+                   tenant=tenant, idempotency_key=idempotency_key,
+                   sampling=sampling)
+
+
+def _parse_sampling(payload: Dict) -> Optional[Dict[str, int]]:
+    """Validate the optional sampled-simulation request.
+
+    ``"sampled": true`` selects the sampled tier with default knobs;
+    ``"sampling": {"period": ..., ...}`` (implies sampled) overrides
+    them.  Returns the ``with_sampling`` kwargs, or ``None`` for a
+    full-detail job.
+    """
+    sampled = payload.get("sampled", False)
+    if not isinstance(sampled, bool):
+        raise ProtocolError("bad-sampling", "'sampled' must be a boolean")
+    raw = payload.get("sampling")
+    if raw is None:
+        return {} if sampled else None
+    if not isinstance(raw, dict):
+        raise ProtocolError("bad-sampling", "'sampling' must be an object")
+    unknown = set(raw) - set(SAMPLING_KEYS)
+    if unknown:
+        raise ProtocolError(
+            "bad-sampling",
+            f"unknown sampling keys: {sorted(unknown)} "
+            f"(allowed: {list(SAMPLING_KEYS)})")
+    knobs: Dict[str, int] = {}
+    for key, value in raw.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "bad-sampling", f"sampling.{key} must be an integer")
+        if value < 0 or (value == 0 and key != "ff_warmup_ops"):
+            raise ProtocolError(
+                "bad-sampling", f"sampling.{key} must be positive, got {value}")
+        knobs[key] = value
+    return knobs
 
 
 def result_envelope(seq: int, cell: Cell, result) -> Dict:

@@ -231,12 +231,30 @@ class IntervalSampler:
     def tick(self, pipe: "Pipeline") -> None:
         if pipe.cycle >= self._next:
             self._take(pipe)
-            self._next = pipe.cycle + self.interval
+            # advance along the fixed grid (multiples of ``interval``):
+            # rebasing on pipe.cycle would let one overshoot — e.g. a
+            # driver that ticks less than every cycle — permanently
+            # shift every later sample point off the grid
+            self._next += (
+                (pipe.cycle - self._next) // self.interval + 1
+            ) * self.interval
 
     def finalize(self, pipe: "Pipeline") -> None:
         """Sample the final partial interval (no-op on exact boundary)."""
         if not self.samples or self.samples[-1]["cycle"] != pipe.cycle:
             self._take(pipe)
+
+    def take(self, pipe: "Pipeline") -> Dict[str, object]:
+        """Take one explicit sample now, off the periodic grid.
+
+        Used by the sampled-simulation driver
+        (:mod:`repro.core.sampling`) to bracket measured windows: the
+        delta fields of the returned sample then cover exactly the
+        stretch since the previous take.  Does not move :meth:`tick`'s
+        grid.
+        """
+        self._take(pipe)
+        return self.samples[-1]
 
     def _take(self, pipe: "Pipeline") -> None:
         stats = pipe.stats
@@ -326,11 +344,20 @@ def write_samples_csv(samples: List[Dict[str, object]], path: str) -> Path:
     return target
 
 
-def series(samples: List[Dict[str, object]], key: str) -> List[float]:
-    """Extract one flattened column (dotted key) across all samples."""
-    out: List[float] = []
+def series(
+    samples: List[Dict[str, object]], key: str
+) -> List[Optional[float]]:
+    """Extract one flattened column (dotted key) across all samples.
+
+    A key absent from a sample yields ``None`` at that position —
+    interval series are ragged by design (attribution can attach
+    mid-run, sampled-mode window samples carry extra fields), and
+    coercing "absent" to ``0.0`` would fabricate data points.  Callers
+    that aggregate should filter ``None`` first.
+    """
+    out: List[Optional[float]] = []
     for sample in samples:
         flat = flatten_sample(sample)
         value = flat.get(key)
-        out.append(float(value) if value is not None else 0.0)
+        out.append(None if value is None else float(value))
     return out

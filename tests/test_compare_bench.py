@@ -129,6 +129,53 @@ class TestCompareReports:
         assert "single_sim_ooo" in compare_bench.format_rows(rows)
 
 
+class TestZeroWorkRates:
+    """Rate comparisons need real work on both sides (regression: a
+    0.0-vs-0.0 rate pair passed silently and a 0.0 baseline rate could
+    never fail anything)."""
+
+    def _with_phase(self, report, **phase):
+        report["phases"]["serial_cold"].update(phase)
+        return report
+
+    def test_zero_work_on_both_sides_is_skipped(self):
+        # a phase that simulated nothing (e.g. fully cached) carries a
+        # 0.0 rate; comparing 0.0 against 0.0 must not count as "checked"
+        old = self._with_phase(_report(), simulations=0, sims_per_sec=0.0)
+        new = self._with_phase(
+            _report(scale=2.0), simulations=0, sims_per_sec=0.0)
+        _, regressions = compare_bench.compare_reports(old, new)
+        assert not any("sims_per_sec" in r for r in regressions)
+
+    def test_zero_baseline_rate_with_work_is_skipped(self):
+        # work happened but the recorded rate rounded to zero: there is
+        # no usable reference, so neither pass nor fail — skip
+        old = self._with_phase(_report(), sims_per_sec=0.0)
+        new = self._with_phase(_report(scale=4.0), sims_per_sec=0.0)
+        _, regressions = compare_bench.compare_reports(old, new)
+        assert not any("sims_per_sec" in r for r in regressions)
+
+    def test_stalled_new_rate_with_work_fails(self):
+        # the inverse must NOT be skipped: baseline had a real rate and
+        # the new run did work at rate zero -> that is a stall, not noise
+        old = _report()
+        new = self._with_phase(_report(), sims_per_sec=0.0)
+        _, regressions = compare_bench.compare_reports(old, new)
+        assert any(
+            "sims_per_sec" in r and "stalled" in r for r in regressions)
+
+    def test_zero_work_in_new_report_only_is_skipped(self):
+        old = _report()
+        new = self._with_phase(
+            _report(scale=2.0), simulations=0, sims_per_sec=0.0)
+        _, regressions = compare_bench.compare_reports(
+            old, new, threshold=1.5)
+        assert not any("sims_per_sec" in r for r in regressions)
+        # wall-clock seconds are still gated for the same phase
+        assert any(r.startswith("serial_cold:") or "serial_cold" in r
+                   for r in regressions)
+
+
 class TestComparability:
     def test_matrix_mismatch_is_hard_issue(self):
         issues, _ = compare_bench.comparability_issues(

@@ -185,6 +185,44 @@ class TestSamplerIntervalMath:
         assert [s["cycle"] for s in sampler.samples] == [300]
         assert sampler.samples[0]["interval"] == 300
 
+    def test_overshoot_does_not_drift_the_grid(self):
+        """Regression: a tick that lands past a boundary (drivers that
+        tick less than every cycle, e.g. fast-forward chunks) used to
+        rebase the next sample at ``overshoot + interval``, permanently
+        shifting every later sample off the N*interval grid."""
+        pipe, sampler = _FakePipe(), IntervalSampler(1000)
+        for jump in (999, 501, 1000, 1000):  # cycle: 999,1500,2500,3500
+            pipe.cycle += jump
+            pipe.stats.committed += jump
+            sampler.tick(pipe)
+        pipe.cycle += 500  # 4000: exactly on-grid again
+        sampler.tick(pipe)
+        assert [s["cycle"] for s in sampler.samples] == [1500, 2500, 3500, 4000]
+        # the grid stayed at multiples of 1000: 4000 was still a boundary
+        assert sampler._next == 5000
+
+    def test_overshoot_across_multiple_boundaries_takes_one_sample(self):
+        pipe, sampler = _FakePipe(), IntervalSampler(100)
+        pipe.cycle = 550  # jumped across 5 boundaries at once
+        sampler.tick(pipe)
+        assert [s["cycle"] for s in sampler.samples] == [550]
+        pipe.cycle = 600  # next boundary is 600, not 650
+        sampler.tick(pipe)
+        assert [s["cycle"] for s in sampler.samples] == [550, 600]
+
+    def test_take_brackets_without_moving_grid(self):
+        """Explicit takes (sampled-mode window brackets) are off-grid
+        extras: deltas cover the stretch since the previous sample and
+        the periodic grid is unaffected."""
+        pipe, sampler = _FakePipe(), IntervalSampler(1000)
+        _drive(pipe, sampler, 300)
+        sample = sampler.take(pipe)
+        assert sample["cycle"] == 300
+        assert sample["delta"]["committed"] == 600
+        _drive(pipe, sampler, 700)  # reaches 1000: still a grid point
+        assert [s["cycle"] for s in sampler.samples] == [300, 1000]
+        assert sampler.samples[-1]["delta"]["committed"] == 1400
+
     def test_occupancy_and_queues_snapshot(self):
         pipe, sampler = _FakePipe(), IntervalSampler(10)
         _drive(pipe, sampler, 10)
@@ -246,9 +284,10 @@ class TestSamplerEndToEnd:
         assert clone.sample_interval == result.sample_interval
 
     def test_schema_version_bumped_for_samples(self):
-        # SimResult grew interval_samples/sample_interval in v3; the
-        # version is mixed into cache keys, so old entries self-expire
-        assert RESULT_SCHEMA_VERSION == 3
+        # SimResult grew interval_samples/sample_interval in v3 and
+        # sampled/sampling in v4; the version is mixed into cache keys,
+        # so old entries self-expire
+        assert RESULT_SCHEMA_VERSION == 4
 
 
 # ---------------------------------------------------------------------------
@@ -308,7 +347,16 @@ class TestExports:
     def test_series_extracts_column(self, samples):
         assert series(samples, "cycle") == [100.0, 200.0, 250.0]
         assert series(samples, "occupancy.lq") == [4.0, 4.0, 4.0]
-        assert series(samples, "no.such.key") == [0.0, 0.0, 0.0]
+
+    def test_series_absent_key_is_none_not_zero(self, samples):
+        # coercing "absent" to 0.0 would fabricate data points — ragged
+        # series (e.g. sampled-mode window annotations) must stay honest
+        assert series(samples, "no.such.key") == [None, None, None]
+
+    def test_series_mixed_presence(self, samples):
+        ragged = [dict(s) for s in samples]
+        ragged[1]["extra"] = 7
+        assert series(ragged, "extra") == [None, 7.0, None]
 
     def test_chrome_counter_events(self, samples):
         events = chrome_counter_events(samples)

@@ -186,28 +186,28 @@ def test_keyboard_interrupt_keeps_partial_results(tmp_path, monkeypatch):
 def test_mixed_schema_cache_entries_invalidate_cleanly(tmp_path,
                                                        monkeypatch):
     """Entries keyed under an older RESULT_SCHEMA_VERSION are simply
-    never looked up again (the version is part of the key): a v3 runner
+    never looked up again (the version is part of the key): a v4 runner
     re-simulates instead of deserialising a stale shape, and both
     generations coexist in the same cache directory."""
     import repro.analysis.runner as runner_mod
     from repro.core.stats import RESULT_SCHEMA_VERSION, SimResult
 
-    assert RESULT_SCHEMA_VERSION == 3
+    assert RESULT_SCHEMA_VERSION == 4
     config = config_for("ooo")
 
-    # an "old writer": same cache dir, keys computed under schema v2
-    monkeypatch.setattr(runner_mod, "RESULT_SCHEMA_VERSION", 2)
+    # an "old writer": same cache dir, keys computed under schema v3
+    monkeypatch.setattr(runner_mod, "RESULT_SCHEMA_VERSION", 3)
     old = _runner(tmp_path, "mixed")
     old_result = old.run("histogram", config)
     assert old.simulations_run == 1
-    # strip the v3-era fields so the entry really has the old shape
+    # strip the v4-era fields so the entry really has the old shape
     entry = next(old.cache_dir.glob("*.json"))
     data = json.loads(entry.read_text())
-    data.pop("interval_samples")
-    data.pop("sample_interval")
+    data.pop("sampled")
+    data.pop("sampling")
     entry.write_text(json.dumps(data))
 
-    monkeypatch.setattr(runner_mod, "RESULT_SCHEMA_VERSION", 3)
+    monkeypatch.setattr(runner_mod, "RESULT_SCHEMA_VERSION", 4)
     fresh = _runner(tmp_path, "mixed")
     new_result = fresh.run("histogram", config)
     assert fresh.cache_hits == 0  # stale entry never looked up
@@ -216,7 +216,7 @@ def test_mixed_schema_cache_entries_invalidate_cleanly(tmp_path,
     assert _dumps(new_result) == _dumps(old_result)
     # old-shape entries still deserialize via defaults if read directly
     clone = SimResult.from_dict(data)
-    assert clone.interval_samples == [] and clone.sample_interval == 0
+    assert clone.sampled is False and clone.sampling == {}
 
 
 def test_no_leftover_tmp_files(tmp_path):

@@ -198,3 +198,53 @@ class TestGapRepair:
         assert requeued == 1
         assert state.status == "queued"
         assert queue.next_job().spec.job_id == state.spec.job_id
+
+
+class TestSampledJobs:
+    """The pool applies a job's sampling knobs to every cell config."""
+
+    def _submit_sampled(self, queue, sampling):
+        payload = {"cells": [{"workload": "dotprod", "arch": "ooo", "seed": s}
+                             for s in range(2)]}
+        payload.update(sampling)
+        spec = parse_submit(payload, job_id=new_job_id())
+        return queue.submit(spec)[0]
+
+    def test_sampling_knobs_reach_the_runner(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=4)
+        self._submit_sampled(
+            queue, {"sampling": {"period": 5000, "window": 500}})
+        drain(pool, runner)
+        configs = [config for _, config, _ in runner.calls[0]]
+        assert configs and all(c.sample_period == 5000 for c in configs)
+        assert all(c.sample_window == 500 for c in configs)
+
+    def test_sampled_true_uses_default_period(self, tmp_path):
+        from repro.core.sampling import DEFAULT_SAMPLE_PERIOD
+
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=4)
+        self._submit_sampled(queue, {"sampled": True})
+        drain(pool, runner)
+        configs = [config for _, config, _ in runner.calls[0]]
+        assert all(c.sample_period == DEFAULT_SAMPLE_PERIOD for c in configs)
+
+    def test_full_detail_jobs_keep_sampling_off(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        runner = StubRunner()
+        pool = manual_pool(queue, runner, shard_size=4)
+        submit(queue)
+        drain(pool, runner)
+        configs = [config for _, config, _ in runner.calls[0]]
+        assert all(c.sample_period == 0 for c in configs)
+
+    def test_sampling_survives_journal_restart(self, tmp_path):
+        """A queued sampled job replayed from the journal keeps its knobs."""
+        queue = DurableJobQueue(str(tmp_path))
+        self._submit_sampled(queue, {"sampling": {"period": 9000}})
+        replayed = DurableJobQueue(str(tmp_path))
+        job = replayed.next_job()
+        assert job.spec.sampling == {"period": 9000}
