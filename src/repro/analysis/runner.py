@@ -298,6 +298,23 @@ class ExperimentRunner:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:24]
 
+    def key_for(self, workload: str, config: CoreConfig,
+                seed: Optional[int] = None) -> str:
+        """Public cell-key derivation (the disk-cache / run-log key).
+
+        The reconciliation detector (:mod:`repro.distrib.reconcile`)
+        uses it to line up the expected campaign matrix against cache
+        entries and run-log records; ``seed=None`` resolves to the
+        runner's default, matching :meth:`run` / :meth:`run_many`.
+        """
+        return self._key(workload, config, self.seed if seed is None else seed)
+
+    def cache_path(self, key: str) -> Optional[Path]:
+        """Where ``key``'s disk-cache entry lives (None: cache disabled)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.json"
+
     def _cache_warning(self, key: str, reason: str) -> None:
         """Count one tolerated cache corruption, everywhere it matters.
 

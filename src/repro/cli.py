@@ -24,7 +24,21 @@ Commands:
   ``--seed`` seeds the campaign.
 * ``chaos`` — fault-injection drill for the campaign runner: kills,
   hangs, injected errors, forced deadlocks and corrupted caches, then a
-  byte-identity check against a clean serial run (docs/robustness.md).
+  byte-identity check against a clean serial run (docs/robustness.md);
+  ``--distributed`` drills the sharded-campaign path instead — a shard
+  killed outright, poisoned cells, shredded run-logs and damaged cache
+  entries, closed by ``reconcile`` detecting every hole and repairing
+  back to byte-identity.
+* ``campaign`` — run one shard of a distributed campaign (``--shard
+  K/N``; cells are assigned by salted hash, so shards coordinate only
+  through the shared cache directory) or merge every shard's run-log
+  back into one submission-ordered result stream (``--merge``); see
+  docs/robustness.md.
+* ``reconcile`` — audit a campaign three ways (expected matrix vs disk
+  cache vs run-logs), classify every cell (ok / missing / quarantined /
+  orphaned / corrupt / stale-schema) and repair it to convergence under
+  a bounded per-cell budget; ``--check`` detects without repairing
+  (docs/robustness.md).
 * ``serve`` — the simulation-as-a-service daemon: a REST API over a
   durable job queue (priority lanes, per-tenant rate limits,
   backpressure) and a worker pool that drives jobs through the
@@ -308,6 +322,17 @@ def _make_parser() -> argparse.ArgumentParser:
     chaos_cmd.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
                            help="worker processes for the fault run "
                                 "(default 4)")
+    chaos_cmd.add_argument("--distributed", action="store_true",
+                           help="drill the sharded-campaign path "
+                                "instead: shard death, shredded run-"
+                                "logs, damaged cache entries, closed "
+                                "by reconciliation")
+    chaos_cmd.add_argument("--shards", type=int, default=3, metavar="N",
+                           help="shard count for --distributed "
+                                "(default 3; one shard is killed)")
+    chaos_cmd.add_argument("--work-dir", default=None, metavar="DIR",
+                           help="keep the drill's campaign/cache trees "
+                                "here instead of a throwaway tempdir")
 
     serve_cmd = sub.add_parser(
         "serve",
@@ -376,6 +401,79 @@ def _make_parser() -> argparse.ArgumentParser:
                                "ordered result table")
     poll_cmd.add_argument("--timeout", type=float, default=300.0,
                           help="--results timeout in seconds (default 300)")
+
+    campaign_cmd = sub.add_parser(
+        "campaign",
+        help="run one shard of a distributed campaign, or merge its "
+             "shards into the ordered result stream "
+             "(see docs/robustness.md)")
+    campaign_cmd.add_argument("--campaign-dir", required=True,
+                              metavar="DIR",
+                              help="directory holding the manifest, "
+                                   "shard run-logs and merged stream")
+    campaign_cmd.add_argument("--shard", default=None, metavar="K/N",
+                              help="run shard K of N (e.g. 0/4); the "
+                                   "matrix axes are read from the "
+                                   "manifest if one exists")
+    campaign_cmd.add_argument("--merge", action="store_true",
+                              help="merge every shard's run-log into "
+                                   "merged.json (submission order, "
+                                   "gaps named)")
+    campaign_cmd.add_argument("--workloads", nargs="+", default=None,
+                              metavar="W",
+                              help="workload axis (first shard only; "
+                                   "later shards read the manifest)")
+    campaign_cmd.add_argument("--arches", nargs="+", default=None,
+                              metavar="ARCH", help="arch axis")
+    campaign_cmd.add_argument("--widths", nargs="*", type=int,
+                              default=None, metavar="N",
+                              help="width axis (default: the global "
+                                   "--width)")
+    campaign_cmd.add_argument("--salt", type=int, default=0,
+                              help="shard-assignment salt (default 0); "
+                                   "re-salting rebalances the split")
+    campaign_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="shared result cache the shards "
+                                   "merge through (default: the global "
+                                   "cache)")
+    # global knobs after the subcommand too (`repro campaign --seed 0`)
+    campaign_cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    campaign_cmd.add_argument("--ops", type=int, default=argparse.SUPPRESS)
+    campaign_cmd.add_argument("--jobs", type=int, default=argparse.SUPPRESS)
+
+    reconcile_cmd = sub.add_parser(
+        "reconcile",
+        help="audit a campaign (expected matrix vs cache vs run-logs) "
+             "and repair it to convergence (see docs/robustness.md)")
+    reconcile_cmd.add_argument("--campaign-dir", required=True,
+                               metavar="DIR",
+                               help="campaign directory (must hold a "
+                                    "manifest)")
+    reconcile_cmd.add_argument("--check", action="store_true",
+                               help="detect and report only — no "
+                                    "repairs are executed")
+    reconcile_cmd.add_argument("--max-rounds", type=int, default=3,
+                               metavar="N",
+                               help="repair/re-verify rounds before "
+                                    "giving up (default 3)")
+    reconcile_cmd.add_argument("--budget", type=int, default=2,
+                               metavar="N",
+                               help="repair attempts per damaged cell "
+                                    "(default 2)")
+    reconcile_cmd.add_argument("--server", default=None, metavar="URL",
+                               help="execute repairs via this running "
+                                    "`repro serve` daemon (it must "
+                                    "share the cache) instead of "
+                                    "locally")
+    reconcile_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                               help="the campaign's shared result cache "
+                                    "(default: the global cache)")
+    reconcile_cmd.add_argument("--out", default=None, metavar="FILE",
+                               help="write the machine-readable JSON "
+                                    "reconcile report here")
+    reconcile_cmd.add_argument("--jobs", type=int,
+                               default=argparse.SUPPRESS,
+                               help="worker processes for local repairs")
     return parser
 
 
@@ -796,11 +894,11 @@ def _report_failures(runner: ExperimentRunner) -> int:
     schema change invalidated part of the cache.
     """
     if runner.cache_warnings:
-        what = ("1 corrupt/unreadable cache entry treated as a miss"
-                if runner.cache_warnings == 1 else
-                f"{runner.cache_warnings} corrupt/unreadable cache "
-                "entries treated as misses")
-        print(f"warning: {what} (re-simulated)", file=sys.stderr)
+        count = runner.cache_warnings
+        noun = "entry" if count == 1 else "entries"
+        print(f"cache health: {count} corrupt/unreadable {noun} "
+              f"re-simulated — run `repro reconcile` on campaign "
+              f"directories to audit and repair the cache")
     summary = runner.failure_summary()
     if not summary:
         return 0
@@ -977,6 +1075,31 @@ def _cmd_chaos(args) -> int:
         if arch not in _ALL_ARCHES:
             print(f"unknown arch: {arch}", file=sys.stderr)
             return 2
+    if args.distributed:
+        from .verify.chaos import run_distributed
+
+        report = run_distributed(
+            arches=args.arches[:2],
+            target_ops=args.ops,
+            seed=args.seed,
+            n_shards=args.shards,
+            jobs=args.jobs or 2,
+            poison=args.poison,
+            timeout=args.timeout,
+            work_dir=args.work_dir,
+            progress=print,
+        )
+        print()
+        print(report.full_report())
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).resolve().parent.mkdir(parents=True,
+                                                  exist_ok=True)
+            with open(args.out, "w") as handle:
+                handle.write(report.full_report() + "\n")
+            print(f"wrote campaign report: {args.out}")
+        return 0 if report.ok else 1
     spec = ChaosSpec(kill=args.kill, hang=args.hang, error=args.error,
                      wedge=args.wedge, poison=args.poison, salt=args.seed)
     report = run_campaign(
@@ -1040,6 +1163,9 @@ def _cmd_serve(args) -> int:
     if daemon.queue.replayed_jobs:
         print(f"replayed {daemon.queue.replayed_jobs} unfinished job(s) "
               "from the journal")
+    if daemon.queue.recovered_jobs:
+        print(f"recovered {len(daemon.queue.recovered_jobs)} completed "
+              "job(s) whose job_done record was torn off")
     if args.port_file:
         Path(args.port_file).write_text(f"{daemon.port}\n")
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -1130,6 +1256,112 @@ def _cmd_poll(args) -> int:
     return 0
 
 
+def _campaign_spec(args):
+    """Resolve the campaign spec: manifest first, axes as fallback."""
+    from .distrib import CampaignSpec, load_manifest
+
+    n_shards = 1
+    if args.shard:
+        try:
+            shard_str, total_str = args.shard.split("/", 1)
+            shard, n_shards = int(shard_str), int(total_str)
+        except ValueError:
+            raise SystemExit(f"--shard wants K/N (e.g. 0/4), "
+                             f"got {args.shard!r}")
+    else:
+        shard = None
+    try:
+        spec = load_manifest(args.campaign_dir)
+        if args.shard and spec.n_shards != n_shards:
+            raise SystemExit(
+                f"--shard says {n_shards} shards but the manifest "
+                f"says {spec.n_shards}")
+        return spec, shard
+    except FileNotFoundError:
+        pass
+    if not args.workloads or not args.arches:
+        raise SystemExit(
+            "no manifest yet: pass --workloads and --arches to declare "
+            "the campaign matrix")
+    spec = CampaignSpec(
+        workloads=tuple(args.workloads),
+        arches=tuple(args.arches),
+        widths=tuple(args.widths or [args.width]),
+        ops=args.ops, seed=args.seed,
+        n_shards=n_shards, salt=args.salt,
+    )
+    return spec, shard
+
+
+def _cmd_campaign(args) -> int:
+    from .distrib import merge_shards, run_shard
+
+    for arch in args.arches or ():
+        if arch not in _ALL_ARCHES:
+            print(f"unknown arch: {arch}", file=sys.stderr)
+            return 2
+    spec, shard = _campaign_spec(args)
+    cache = "" if args.no_cache else args.cache_dir
+    if shard is not None:
+        progress = print if args.progress else None
+        results = run_shard(
+            spec, shard, args.campaign_dir, cache_dir=cache,
+            jobs=args.jobs, task_timeout=args.task_timeout,
+            retries=args.retries, progress=progress)
+        failed = sum(1 for result in results if not result.ok)
+        print(f"shard {shard}/{spec.n_shards}: {len(results)} cell(s), "
+              f"{failed} failed")
+        return 0 if failed == 0 else 1
+    if args.merge:
+        merged = merge_shards(spec, args.campaign_dir, cache_dir=cache)
+        print(merged.summary())
+        if merged.gaps:
+            print(f"gaps (submission indices): {merged.gaps}")
+            print("run `repro reconcile` to repair them")
+        return 0 if merged.complete else 1
+    print("nothing to do: pass --shard K/N or --merge", file=sys.stderr)
+    return 2
+
+
+def _cmd_reconcile(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from .distrib import Detector, load_manifest, reconcile_campaign
+
+    try:
+        spec = load_manifest(args.campaign_dir)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    cache = "" if args.no_cache else args.cache_dir
+    if args.check:
+        diff = Detector(spec, cache_dir=cache).diff(args.campaign_dir)
+        print(diff.summary())
+        rows = [[status.seq,
+                 f"{status.cell.workload}/{status.cell.arch}"
+                 f"@{status.cell.width}",
+                 status.state, status.detail]
+                for status in diff.damaged]
+        if rows:
+            print(format_table(["seq", "cell", "state", "detail"], rows,
+                               title="damaged cells"))
+        return 0 if diff.converged else 1
+    report = reconcile_campaign(
+        args.campaign_dir, spec=spec, cache_dir=cache,
+        max_rounds=args.max_rounds, cell_budget=args.budget,
+        server=args.server, jobs=args.jobs,
+        progress=print if args.progress else None)
+    print(report.summary())
+    if args.out:
+        path = Path(args.out).resolve()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json_mod.dumps(report.to_dict(), indent=2,
+                                       sort_keys=True) + "\n")
+        print(f"wrote reconcile report: {args.out}")
+    return 0 if report.converged else 1
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "configs": _cmd_configs,
@@ -1146,6 +1378,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "poll": _cmd_poll,
+    "campaign": _cmd_campaign,
+    "reconcile": _cmd_reconcile,
 }
 
 

@@ -1,0 +1,70 @@
+"""Distributed campaigns: sharded execution + run-log reconciliation.
+
+Campaigns outgrow one process pool on one host: the paper's 84-cell
+design-space matrix per workload multiplies with every scheduler added
+to the zoo, and a campaign spread over hosts needs more than "finished
+cells stay cached" — it needs a systematic account of what is
+*missing*, and a repair loop that makes the account balance.
+
+Two layers (see docs/robustness.md):
+
+* :mod:`repro.distrib.campaign` — ``shard_cells`` assigns the matrix's
+  cells to shards by salted hash; ``run_shard`` executes one shard
+  through the fault-tolerant :class:`~repro.analysis.runner.
+  ExperimentRunner`, streaming its per-worker JSONL run-log; and
+  ``merge_shards`` restores deterministic (submission-order) results
+  from out-of-order shard completions via the
+  :class:`~repro.serve.resequencer.Resequencer`.
+* :mod:`repro.distrib.reconcile` — a *detector* three-way-diffs the
+  expected matrix against the disk cache and the merged run-logs,
+  classifying every cell; an *engine* turns the diff into a typed
+  repair plan under bounded budgets; and a *scheduler* executes the
+  repairs (locally through ``run_many`` or by submission to a running
+  ``repro serve`` daemon) and re-verifies until the matrix converges.
+"""
+
+from .campaign import (  # noqa: F401
+    CampaignSpec,
+    MergedCampaign,
+    cell_label,
+    load_manifest,
+    merge_shards,
+    run_shard,
+    shard_cells,
+    shard_log_path,
+    shard_of,
+)
+from .reconcile import (  # noqa: F401
+    CELL_STATES,
+    CampaignDiff,
+    CellStatus,
+    Detector,
+    ReconcileReport,
+    Repair,
+    RepairEngine,
+    RepairPlan,
+    RepairScheduler,
+    reconcile_campaign,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "MergedCampaign",
+    "cell_label",
+    "load_manifest",
+    "merge_shards",
+    "run_shard",
+    "shard_cells",
+    "shard_log_path",
+    "shard_of",
+    "CELL_STATES",
+    "CampaignDiff",
+    "CellStatus",
+    "Detector",
+    "ReconcileReport",
+    "Repair",
+    "RepairEngine",
+    "RepairPlan",
+    "RepairScheduler",
+    "reconcile_campaign",
+]

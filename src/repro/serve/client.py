@@ -4,17 +4,32 @@ Used by ``repro submit`` / ``repro poll`` and by tests; speaks exactly
 the :mod:`repro.serve.protocol` schemas.  Server-side refusals
 (structured 4xx bodies) surface as :class:`ServeError` carrying the
 machine-readable ``code`` and the ``retry_after`` hint when present.
+
+Transient-failure handling is **off by default** (one shot, errors
+surface immediately — the CLI's historical behaviour).  Constructing
+with ``retries=N`` enables bounded retry with exponential backoff and
+full jitter for failures that plausibly heal on their own: connection
+refused/reset (a daemon restarting), request timeouts, and 429/503
+backpressure responses — the latter honouring the server's
+``retry_after`` hint when it exceeds the computed backoff.  Structured
+4xx refusals (bad cells, unknown jobs, protocol mismatches) never
+retry: the request is wrong, not unlucky.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, List, Optional
 
 from .protocol import PROTOCOL_VERSION
+
+#: HTTP statuses worth retrying when retries are enabled: backpressure
+#: (429 rate-limit / queue-full) and transient unavailability (503).
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServeError(RuntimeError):
@@ -29,13 +44,57 @@ class ServeError(RuntimeError):
         self.retry_after = retry_after
 
 
+def _transient(exc: Exception) -> bool:
+    """Connection-level failures that a retry can plausibly outlive."""
+    if isinstance(exc, (ConnectionError, TimeoutError)):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(exc.reason, (ConnectionError, TimeoutError,
+                                       OSError))
+    return False
+
+
 class ServeClient:
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    def __init__(self, base_url: str, timeout: float = 10.0,
+                 retries: int = 0, backoff: float = 0.25):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        #: transparent retries performed (observability / tests)
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------
+    def _delay(self, attempt: int) -> float:
+        """Exponential backoff with full jitter (uncoordinated clients
+        hammering a restarting daemon in lock-step is the failure mode
+        jitter exists to break)."""
+        base = self.backoff * (2 ** attempt)
+        return base * (0.5 + random.random() / 2)
 
     def _request(self, method: str, path: str,
                  payload: Optional[Dict] = None) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServeError as exc:
+                if (attempt >= self.retries
+                        or exc.status not in RETRYABLE_STATUSES):
+                    raise
+                delay = self._delay(attempt)
+                if exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+            except Exception as exc:  # noqa: BLE001 — filtered below
+                if attempt >= self.retries or not _transient(exc):
+                    raise
+                delay = self._delay(attempt)
+            attempt += 1
+            self.retries_performed += 1
+            time.sleep(delay)
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[Dict] = None) -> Dict:
         data = json.dumps(payload).encode() if payload is not None else None
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,

@@ -180,9 +180,24 @@ class DurableJobQueue:
         self._buckets: Dict[str, TokenBucket] = {}
         self.rejections = 0
         journal_path = self.root / "journal.jsonl"
+        self._journal_path = journal_path
+        #: jobs whose complete results file recovered a torn job_done
+        self.recovered_jobs: List[str] = []
         replayed = self._replay(journal_path) if journal_path.exists() else 0
         self.replayed_jobs = replayed
+        # startup compaction: drop terminal jobs' events so the journal
+        # stays proportional to *live* work, not daemon lifetime
+        kept, dropped = (self._compact_lines()
+                         if journal_path.exists() else ([], 0))
+        if dropped:
+            self._rewrite_journal(kept)
         self._journal = RunLog(str(journal_path))
+        for job_id in self.recovered_jobs:
+            self._journal.log("job_recovered", job_id=job_id,
+                              cells=len(self.jobs[job_id].spec.cells))
+        if dropped:
+            self._journal.log("journal_compact", kept=len(kept),
+                              dropped=dropped)
         self._depth_gauges()
 
     # ------------------------------------------------------------------
@@ -226,13 +241,112 @@ class DurableJobQueue:
                     state.status = "cancelled"
         for job_id in order:
             state = self.jobs[job_id]
-            if state.status not in TERMINAL_STATES:
-                state.status = "queued"
-                state.started_t = None
-                state.results = []
-                self._lanes[state.spec.priority].append(job_id)
-                requeued += 1
+            if state.status in TERMINAL_STATES:
+                continue
+            if self._recover_torn_done(state):
+                continue
+            state.status = "queued"
+            state.started_t = None
+            state.results = []
+            self._lanes[state.spec.priority].append(job_id)
+            requeued += 1
         return requeued
+
+    def _recover_torn_done(self, state: JobState) -> bool:
+        """Detect a job whose ``job_done`` journal record was torn off.
+
+        ``mark_done`` persists the ordered results file *before*
+        journaling ``job_done``; a crash in that window leaves a
+        complete results file for a journal-non-terminal job.  Replay
+        must classify it as done — requeueing would double-run the job
+        (cheaply, via cache hits, but its results_ready would bounce
+        and a torn-off failure count would be lost).  A *partial*
+        results file never matches the cell count, so genuinely
+        interrupted jobs still requeue.
+        """
+        path = self._results_path(state.spec.job_id)
+        if not path.exists():
+            return False
+        try:
+            envelopes = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False
+        if (not isinstance(envelopes, list)
+                or len(envelopes) != len(state.spec.cells)):
+            return False
+        state.status = "done"
+        state.failed_cells = sum(
+            1 for envelope in envelopes
+            if isinstance(envelope, dict) and not envelope.get("ok"))
+        state.finished_t = time.time()
+        state.results = []
+        state.results_loaded = False
+        self.recovered_jobs.append(state.spec.job_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # journal compaction
+    # ------------------------------------------------------------------
+    def _live_job_ids(self) -> set:
+        return {job_id for job_id, state in self.jobs.items()
+                if state.status not in TERMINAL_STATES}
+
+    def _compact_lines(self) -> Tuple[List[str], int]:
+        """Partition the journal's raw lines into (keep, dropped-count).
+
+        Raw lines (not re-logged records) so surviving events keep
+        their original ``t``/``elapsed`` stamps.  Kept: every event
+        carrying the ``job_id`` of a currently non-terminal job — the
+        exact set replay needs to rebuild the queue.  Dropped: terminal
+        jobs' histories, job-less audit records (rejections, previous
+        compactions) and undecodable lines.
+        """
+        live = self._live_job_ids()
+        keep: List[str] = []
+        dropped = 0
+        try:
+            lines = self._journal_path.read_text(
+                encoding="utf-8", errors="replace").splitlines()
+        except OSError:
+            return [], 0
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                dropped += 1
+                continue
+            if isinstance(record, dict) and record.get("job_id") in live:
+                keep.append(line)
+            else:
+                dropped += 1
+        return keep, dropped
+
+    def _rewrite_journal(self, keep: List[str]) -> None:
+        path = self._journal_path
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text("\n".join(keep) + ("\n" if keep else ""),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+
+    def compact(self) -> Tuple[int, int]:
+        """Atomically shrink the journal to live jobs' events only.
+
+        Closes the writer, rewrites the file (tmp + ``os.replace`` — a
+        crash mid-compaction leaves the old journal intact), reopens,
+        and journals a ``journal_compact`` marker.  Returns ``(kept,
+        dropped)`` line counts.  Startup performs the same compaction
+        automatically after replay.
+        """
+        with self._cond:
+            self._journal.close()
+            keep, dropped = self._compact_lines()
+            self._rewrite_journal(keep)
+            self._journal = RunLog(str(self._journal_path))
+            self._journal.log("journal_compact", kept=len(keep),
+                              dropped=dropped)
+            return len(keep), dropped
 
     def log(self, event: str, **fields) -> None:
         """Append one journal event (thread-safe; used by the pool too)."""

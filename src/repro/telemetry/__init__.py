@@ -38,7 +38,8 @@ from .metrics import (
     series,
     write_samples_csv,
 )
-from .runlog import EVENT_FIELDS, RunLog, read_run_log, validate_event
+from .runlog import (EVENT_FIELDS, RunLog, read_run_log,
+                     read_run_log_tolerant, validate_event)
 from .snapshot import capture_snapshot, describe_head, render_snapshot
 from .tracer import (
     AUX_STAGES,
@@ -72,6 +73,7 @@ __all__ = [
     "flatten_sample",
     "read_chrome_trace",
     "read_run_log",
+    "read_run_log_tolerant",
     "render_snapshot",
     "samples_to_csv",
     "series",

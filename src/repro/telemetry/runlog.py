@@ -56,6 +56,22 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "cell_repair": ("job_id", "seqs"),
     "serve_start": ("host", "port", "workers"),
     "serve_stop": ("drained", "requeued"),
+    # a non-terminal job whose ordered results file was complete on disk
+    # was recovered as done during journal replay (its job_done record
+    # was torn off) instead of being double-run — see DurableJobQueue
+    "job_recovered": ("job_id", "cells"),
+    # the journal was atomically rewritten keeping only events for
+    # non-terminal jobs (startup or explicit compact())
+    "journal_compact": ("kept", "dropped"),
+    # distributed campaigns (repro.distrib; see docs/robustness.md):
+    # one shard of a sharded campaign starts/ends on this host
+    "shard_start": ("shard", "of", "cells", "salt"),
+    "shard_end": ("shard", "of", "completed", "failed"),
+    # reconciliation lifecycle: detector diff -> repair plan -> repairs
+    # executed -> re-verify, round by round until converged
+    "reconcile_start": ("cells", "max_rounds"),
+    "reconcile_round": ("round", "repairs", "damaged", "states"),
+    "reconcile_end": ("converged", "rounds", "repaired"),
 }
 
 #: fields present on every record.
@@ -132,3 +148,39 @@ def read_run_log(path: str,
         if event is None or record.get("event") == event:
             records.append(record)
     return records
+
+
+def read_run_log_tolerant(
+    path: str,
+) -> Tuple[List[Dict[str, object]], int]:
+    """Load as much of a (possibly damaged) run-log as parses.
+
+    Unlike :func:`read_run_log` — which only forgives a torn *final*
+    line — this skips any undecodable or non-object line wherever it
+    sits and reports how many were dropped.  The reconciliation
+    detector uses it: a run-log corrupted mid-campaign (chaos, disk
+    faults) must still yield every surviving record, because the holes
+    the corruption tore are exactly what reconciliation goes on to
+    repair from the other two sources (expected matrix + disk cache).
+    Returns ``(records, skipped_lines)``.
+    """
+    records: List[Dict[str, object]] = []
+    skipped = 0
+    try:
+        lines = Path(path).read_text(encoding="utf-8",
+                                     errors="replace").splitlines()
+    except OSError:
+        return [], 1
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped

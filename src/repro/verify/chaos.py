@@ -426,3 +426,273 @@ def run_campaign(
         get_trace.cache_clear()
         if owned_dir:
             shutil.rmtree(root, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# distributed campaigns: shard-level chaos + reconciliation closure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DistribChaosReport:
+    """Outcome of one distributed chaos drill (:func:`run_distributed`).
+
+    The drill's contract is *closure*: every hole it tears — a shard
+    killed before it starts, run-log lines shredded mid-campaign,
+    quarantines, cache entries corrupted or rewritten with a stale
+    schema — must be (1) detected by the reconciliation detector and
+    (2) healed by the repair loop, leaving a campaign byte-identical
+    to a clean serial run.
+    """
+
+    cells: int
+    shards: int
+    killed_shard: int
+    poisoned: List[str] = field(default_factory=list)
+    corrupted_entries: int = 0
+    stale_entries: int = 0
+    shredded_lines: int = 0
+    initial_states: Dict[str, int] = field(default_factory=dict)
+    final_states: Dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+    converged: bool = False
+    undetected: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    merged_complete: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return (self.converged and self.merged_complete
+                and not self.undetected and not self.mismatches)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        damaged = sum(count for state, count in self.initial_states.items()
+                      if state != "ok")
+        return (
+            f"distributed chaos {verdict}: {self.cells} cells over "
+            f"{self.shards} shards; shard {self.killed_shard} killed, "
+            f"{len(self.poisoned)} poisoned, {self.corrupted_entries} "
+            f"cache entries corrupted, {self.stale_entries} stale-schema, "
+            f"{self.shredded_lines} run-log lines shredded; detector saw "
+            f"{damaged} damaged, reconcile converged={self.converged} in "
+            f"{self.rounds} round(s), {len(self.undetected)} undetected, "
+            f"{len(self.mismatches)} mismatches vs clean serial run"
+        )
+
+    def full_report(self) -> str:
+        lines = [self.summary(),
+                 f"initial states: {self.initial_states}",
+                 f"final states:   {self.final_states}"]
+        for title, items in (
+            ("injected holes the detector MISSED", self.undetected),
+            ("result MISMATCHES vs clean serial run", self.mismatches),
+        ):
+            if items:
+                lines.append(f"{title}:")
+                lines += [f"  - {item}" for item in items]
+        return "\n".join(lines)
+
+
+def shred_log(path: Path, every: int = 3) -> int:
+    """Corrupt every ``every``-th line of a run-log in place.
+
+    Models a disk fault / dying writer mid-campaign — exactly the
+    damage :func:`~repro.telemetry.runlog.read_run_log_tolerant` must
+    survive and reconciliation must account for.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    shredded = 0
+    for index in range(0, len(lines), every):
+        lines[index] = '\x00{"torn":' + lines[index][: max(4, len(lines[index]) // 2)]
+        shredded += 1
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return shredded
+
+
+def run_distributed(
+    arches: Sequence[str] = ("inorder", "ooo"),
+    workloads: Sequence[str] = SMOKE_NAMES,
+    widths: Sequence[int] = (4, 8),
+    target_ops: int = 1_500,
+    seed: int = 7,
+    n_shards: int = 3,
+    jobs: int = 2,
+    poison: float = 0.18,
+    timeout: float = 30.0,
+    work_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> DistribChaosReport:
+    """Chaos-drill the distributed campaign + reconciliation path.
+
+    1. a clean **serial** baseline of the whole matrix (the oracle);
+    2. shard the matrix ``n_shards`` ways; run every shard but one —
+       the victim shard is "killed before it starts" (its cells must
+       surface as ``missing``) — with a ``poison`` fault spec exported
+       so some surviving cells quarantine;
+    3. post-hoc damage: shred run-log lines mid-file, corrupt a cache
+       entry, rewrite another with a stale (field-stripped) schema;
+    4. ``merge_shards`` must report the campaign incomplete, naming
+       the holes as gaps;
+    5. ``reconcile_campaign`` (chaos spec cleared — the faults were
+       transient to the campaign, not the cells) must detect **every**
+       injected hole, converge, and leave the merged campaign complete
+       and byte-identical to the baseline.
+    """
+    say = progress if progress is not None else (lambda _msg: None)
+    from ..distrib import (CampaignSpec, Detector, merge_shards,
+                           reconcile_campaign, run_shard, shard_cells)
+
+    if n_shards < 2:
+        raise ValueError("distributed drill needs n_shards >= 2 "
+                         "(one shard is the kill victim)")
+    owned_dir = work_dir is None
+    root = Path(work_dir) if work_dir else Path(
+        tempfile.mkdtemp(prefix="repro-distrib-chaos-"))
+    saved_env = {name: os.environ.get(name)
+                 for name in (ENV_VAR, "REPRO_TRACE_CACHE")}
+    try:
+        os.environ["REPRO_TRACE_CACHE"] = str(root / "traces")
+        os.environ.pop(ENV_VAR, None)
+        get_trace.cache_clear()
+
+        spec = CampaignSpec(
+            workloads=tuple(workloads), arches=tuple(arches),
+            widths=tuple(widths), ops=target_ops, seed=seed,
+            n_shards=n_shards, salt=seed,
+        )
+        cells = spec.cells()
+        camp = root / "campaign"
+        cache = root / "cache"
+
+        # 1. oracle: clean serial run into its own cache
+        say(f"distrib chaos: baseline — {len(cells)} cells, serial")
+        from ..analysis.runner import ExperimentRunner
+
+        baseline = ExperimentRunner(
+            target_ops=target_ops, seed=seed,
+            cache_dir=str(root / "baseline"), jobs=1)
+        tasks = [cell.task(seed) for cell in cells]
+        baseline_results = baseline.run_many(tasks, jobs=1)
+        expected = {
+            baseline._key(w, c, s): json.dumps(r.to_dict(), sort_keys=True)
+            for (w, c, s), r in zip(tasks, baseline_results)
+        }
+
+        # 2. sharded chaos run: kill one shard, poison some cells
+        shards = shard_cells(cells, n_shards, spec.salt)
+        killed = max(range(n_shards), key=lambda k: len(shards[k]))
+        fault_spec = ChaosSpec(poison=poison, salt=seed)
+        os.environ[ENV_VAR] = fault_spec.encode()
+        say(f"distrib chaos: running {n_shards} shards, killing shard "
+            f"{killed} ({len(shards[killed])} cells), poison={poison}")
+        for shard in range(n_shards):
+            if shard == killed:
+                continue  # the shard dies before its first cell
+            run_shard(spec, shard, camp, cache_dir=str(cache), jobs=jobs,
+                      task_timeout=timeout)
+        os.environ.pop(ENV_VAR, None)
+
+        detector = Detector(spec, cache_dir=str(cache))
+        expected_cells = detector.expected()
+        killed_keys = set()
+        for seq, cell in shards[killed]:
+            workload, config, cell_seed = cell.task(seed)
+            killed_keys.add(detector._runner.key_for(workload, config,
+                                                     cell_seed))
+        poisoned_keys = {
+            key for _seq, _cell, key in expected_cells
+            if key not in killed_keys
+            and fault_spec.fault_for(key, 0) == "poison"
+        }
+
+        # 3a. shred run-log lines mid-file (a dying writer / disk fault)
+        shredded = 0
+        logs = sorted(camp.glob("shard-*.jsonl"))
+        if logs:
+            shredded = shred_log(logs[0])
+
+        # 4. the merge must name the holes
+        merged = merge_shards(spec, camp, cache_dir=str(cache), write=True)
+        say(f"distrib chaos: merged — complete={merged.complete}, "
+            f"gaps={len(merged.gaps)}, skipped_lines={merged.skipped_lines}")
+
+        # 3b. cache damage lands *after* the merge (whose cache reads,
+        # like the runner's, delete corrupt entries on contact) so the
+        # detector — strictly read-only — is what classifies it
+        healthy = [
+            (seq, cell, key) for seq, cell, key in expected_cells
+            if key not in killed_keys and key not in poisoned_keys
+        ]
+        corrupted_keys, stale_keys = set(), set()
+        if len(healthy) >= 1:
+            _, _, victim = healthy[0]
+            corrupt_files([cache / f"{victim}.json"])
+            corrupted_keys.add(victim)
+        if len(healthy) >= 2:
+            _, _, victim = healthy[1]
+            path = cache / f"{victim}.json"
+            payload = json.loads(path.read_text())
+            for name in ("sampling", "memory_stats", "interval_samples"):
+                payload.pop(name, None)
+            path.write_text(json.dumps(payload))  # pre-schema-v4 shape
+            stale_keys.add(victim)
+
+        # 5. detect + repair to byte-identical convergence
+        diff = detector.diff(camp)
+        injected = killed_keys | poisoned_keys | corrupted_keys | stale_keys
+        damaged_keys = {status.key for status in diff.damaged}
+        label_of = {key: f"{cell.workload}/{cell.arch}@{cell.width}"
+                    for _seq, cell, key in expected_cells}
+        report = DistribChaosReport(
+            cells=len(cells), shards=n_shards, killed_shard=killed,
+            poisoned=sorted(label_of[k] for k in poisoned_keys),
+            corrupted_entries=len(corrupted_keys),
+            stale_entries=len(stale_keys),
+            shredded_lines=shredded,
+            initial_states=diff.by_state(),
+        )
+        report.undetected = sorted(
+            f"{label_of[key]} [{key[:8]}]"
+            for key in injected if key not in damaged_keys
+        )
+        say("distrib chaos: " + diff.summary())
+        outcome = reconcile_campaign(
+            camp, spec=spec, cache_dir=str(cache),
+            max_rounds=4, cell_budget=3, jobs=jobs, progress=say)
+        report.final_states = outcome.final
+        report.rounds = len(outcome.rounds)
+        report.converged = outcome.converged
+
+        # closure: repaired campaign == clean serial run, byte for byte
+        final_merge = merge_shards(spec, camp, cache_dir=str(cache),
+                                   write=True)
+        report.merged_complete = final_merge.complete
+        for envelope in final_merge.envelopes:
+            if envelope is None:
+                continue
+            cell = envelope["cell"]
+            label = f"{cell['workload']}/{cell['arch']}@{cell['width']}"
+            if not envelope["ok"]:
+                report.mismatches.append(
+                    f"{label}: still failed after reconcile "
+                    f"({envelope['result'].get('kind')})")
+                continue
+            seq = envelope["seq"]
+            workload, config, cell_seed = cells[seq].task(seed)
+            key = baseline._key(workload, config, cell_seed)
+            got = json.dumps(envelope["result"], sort_keys=True)
+            if got != expected[key]:
+                report.mismatches.append(
+                    f"{label}: differs from clean serial run")
+        say("distrib chaos: " + report.summary())
+        return report
+    finally:
+        for name, value in saved_env.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        get_trace.cache_clear()
+        if owned_dir:
+            shutil.rmtree(root, ignore_errors=True)

@@ -169,21 +169,25 @@ class TestRunLogAndCacheHealth:
         for record in records:
             validate_event(record)
 
-    def test_cache_warnings_surface_on_stderr(self, cli, capsys, tmp_path):
+    def test_cache_health_summary_in_exit_summary(self, cli, capsys,
+                                                  tmp_path):
         assert cli("compare", "dotprod", "ooo") == 0
         capsys.readouterr()
         for entry in (tmp_path / "cache").glob("*.json"):
             entry.write_text("garbage{{{")
         assert cli("compare", "dotprod", "ooo") == 0
-        err = capsys.readouterr().err
-        assert "corrupt/unreadable cache" in err
-        assert "re-simulated" in err
+        out = capsys.readouterr().out
+        assert "cache health:" in out
+        assert "re-simulated" in out
+        assert "repro reconcile" in out
 
     def test_healthy_cache_prints_no_warning(self, cli, capsys):
         assert cli("compare", "dotprod", "ooo") == 0
         capsys.readouterr()
         assert cli("compare", "dotprod", "ooo") == 0  # warm, intact
-        assert "corrupt" not in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "cache health" not in captured.out
+        assert "corrupt" not in captured.err
 
 
 class TestReport:
@@ -325,3 +329,85 @@ class TestCharacterize:
         out = capsys.readouterr().out
         assert "dataflow IPC limit" in out
         assert "pointer_chase" in out
+
+
+class TestCampaignReconcile:
+    """The distributed-campaign CLI pair (see docs/robustness.md)."""
+
+    @pytest.fixture()
+    def dirs(self, tmp_path):
+        return str(tmp_path / "camp"), str(tmp_path / "shared-cache")
+
+    def _shard_args(self, camp, cache, shard):
+        return ("campaign", "--campaign-dir", camp, "--cache-dir", cache,
+                "--shard", f"{shard}/2", "--workloads", "dotprod",
+                "histogram", "--arches", "inorder", "ooo",
+                "--widths", "4", "--ops", "400")
+
+    def test_full_campaign_roundtrip(self, cli, capsys, dirs):
+        camp, cache = dirs
+        assert cli(*self._shard_args(camp, cache, 0)) == 0
+        assert cli(*self._shard_args(camp, cache, 1)) == 0
+        assert cli("campaign", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--merge") == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+    def test_dead_shard_merge_names_gaps_then_reconcile_heals(
+            self, cli, capsys, dirs):
+        camp, cache = dirs
+        assert cli(*self._shard_args(camp, cache, 0)) == 0
+        assert cli("campaign", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--merge") == 1
+        out = capsys.readouterr().out
+        assert "INCOMPLETE" in out and "repro reconcile" in out
+        assert cli("reconcile", "--campaign-dir", camp,
+                   "--cache-dir", cache) == 0
+        assert "CONVERGED" in capsys.readouterr().out
+        assert cli("campaign", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--merge") == 0
+
+    def test_reconcile_check_reports_without_repairing(self, cli, capsys,
+                                                       dirs):
+        camp, cache = dirs
+        assert cli(*self._shard_args(camp, cache, 0)) == 0
+        assert cli("reconcile", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--check") == 1
+        out = capsys.readouterr().out
+        assert "DAMAGED" in out and "missing" in out
+        # --check must not have repaired anything
+        assert cli("reconcile", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--check") == 1
+
+    def test_reconcile_writes_machine_readable_report(self, cli, tmp_path,
+                                                      dirs):
+        import json
+
+        camp, cache = dirs
+        assert cli(*self._shard_args(camp, cache, 0)) == 0
+        out_file = tmp_path / "report.json"
+        assert cli("reconcile", "--campaign-dir", camp, "--cache-dir",
+                   cache, "--out", str(out_file)) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["converged"] is True
+        assert payload["initial"]["missing"] > 0
+
+    def test_reconcile_without_manifest_fails_cleanly(self, cli, capsys,
+                                                      tmp_path):
+        assert cli("reconcile", "--campaign-dir",
+                   str(tmp_path / "empty")) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_bad_shard_syntax_rejected(self, cli, dirs):
+        camp, cache = dirs
+        with pytest.raises(SystemExit):
+            cli("campaign", "--campaign-dir", camp, "--cache-dir", cache,
+                "--shard", "zero-of-two", "--workloads", "dotprod",
+                "--arches", "ooo")
+
+    def test_campaign_without_action_is_an_error(self, cli, capsys, dirs):
+        camp, cache = dirs
+        assert cli("campaign", "--campaign-dir", camp,
+                   "--cache-dir", cache, "--workloads", "dotprod",
+                   "--arches", "ooo") == 2
+        assert "--shard" in capsys.readouterr().err

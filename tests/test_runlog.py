@@ -239,3 +239,38 @@ class TestCacheWarningEvents:
         cold.run("dotprod", config_for("ooo"))
         assert _events(cold, "cache_warning") == []
         assert cold.cache_warnings == 0
+
+
+class TestTolerantReader:
+    def test_mid_file_corruption_skipped_and_counted(self, tmp_path):
+        from repro.telemetry.runlog import read_run_log_tolerant
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"event": "heartbeat", "a": 1}\n'
+                        '\x00GARBAGE not json\n'
+                        '[1, 2, 3]\n'
+                        '{"event": "heartbeat", "a": 2}\n')
+        records, skipped = read_run_log_tolerant(str(path))
+        assert skipped == 2  # garbage line + non-object line
+        assert [r["a"] for r in records] == [1, 2]
+
+    def test_strict_reader_raises_where_tolerant_does_not(self, tmp_path):
+        import json as json_mod
+
+        import pytest
+
+        from repro.telemetry.runlog import (read_run_log,
+                                            read_run_log_tolerant)
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"a": 1}\nGARBAGE\n{"a": 2}\n')
+        with pytest.raises(json_mod.JSONDecodeError):
+            read_run_log(str(path))
+        records, skipped = read_run_log_tolerant(str(path))
+        assert len(records) == 2 and skipped == 1
+
+    def test_missing_file_counts_one_skip(self, tmp_path):
+        from repro.telemetry.runlog import read_run_log_tolerant
+
+        records, skipped = read_run_log_tolerant(str(tmp_path / "no.jsonl"))
+        assert records == [] and skipped == 1

@@ -1,0 +1,103 @@
+"""ServeClient transient-failure retry policy (off by default)."""
+
+import urllib.error
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, _transient
+
+
+def make_client(retries=0, **kw):
+    kw.setdefault("backoff", 0.001)  # keep test sleeps microscopic
+    return ServeClient("http://127.0.0.1:1", retries=retries, **kw)
+
+
+def flaky(failures, exc_factory, result=None):
+    """A _request_once stub that fails ``failures`` times then succeeds."""
+    calls = {"n": 0}
+
+    def stub(method, path, payload=None):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            raise exc_factory()
+        return result if result is not None else {"ok": True}
+
+    return stub, calls
+
+
+class TestRetryPolicy:
+    def test_off_by_default_first_error_surfaces(self, monkeypatch):
+        client = make_client()
+        stub, calls = flaky(1, ConnectionRefusedError)
+        monkeypatch.setattr(client, "_request_once", stub)
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
+        assert calls["n"] == 1
+        assert client.retries_performed == 0
+
+    def test_connection_refused_retried_to_success(self, monkeypatch):
+        client = make_client(retries=3)
+        stub, calls = flaky(2, ConnectionRefusedError)
+        monkeypatch.setattr(client, "_request_once", stub)
+        assert client.health() == {"ok": True}
+        assert calls["n"] == 3
+        assert client.retries_performed == 2
+
+    def test_connection_reset_inside_urlerror_retried(self, monkeypatch):
+        client = make_client(retries=1)
+        stub, calls = flaky(
+            1, lambda: urllib.error.URLError(ConnectionResetError()))
+        monkeypatch.setattr(client, "_request_once", stub)
+        assert client.health() == {"ok": True}
+        assert calls["n"] == 2
+
+    def test_budget_exhaustion_reraises(self, monkeypatch):
+        client = make_client(retries=2)
+        stub, calls = flaky(10, ConnectionRefusedError)
+        monkeypatch.setattr(client, "_request_once", stub)
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
+        assert calls["n"] == 3  # initial + 2 retries
+
+    def test_429_honours_retry_after(self, monkeypatch):
+        client = make_client(retries=1)
+        stub, _ = flaky(1, lambda: ServeError(
+            429, "rate-limited", "slow down", retry_after=0.01))
+        monkeypatch.setattr(client, "_request_once", stub)
+        slept = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", slept.append)
+        assert client.health() == {"ok": True}
+        assert slept and slept[0] >= 0.01  # server hint, not the tiny backoff
+
+    def test_structured_4xx_never_retried(self, monkeypatch):
+        client = make_client(retries=5)
+        stub, calls = flaky(10, lambda: ServeError(400, "bad-cell", "nope"))
+        monkeypatch.setattr(client, "_request_once", stub)
+        with pytest.raises(ServeError):
+            client.health()
+        assert calls["n"] == 1
+        assert client.retries_performed == 0
+
+    def test_backoff_grows_exponentially(self, monkeypatch):
+        client = make_client(retries=3, backoff=1.0)
+        stub, _ = flaky(3, ConnectionRefusedError)
+        monkeypatch.setattr(client, "_request_once", stub)
+        slept = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", slept.append)
+        client.health()
+        # full jitter keeps each delay within [base/2, base]
+        for attempt, delay in enumerate(slept):
+            base = 1.0 * (2 ** attempt)
+            assert base / 2 <= delay <= base
+
+
+class TestTransientClassifier:
+    def test_connection_errors_are_transient(self):
+        assert _transient(ConnectionRefusedError())
+        assert _transient(ConnectionResetError())
+        assert _transient(TimeoutError())
+        assert _transient(urllib.error.URLError(OSError(111, "refused")))
+
+    def test_other_errors_are_not(self):
+        assert not _transient(ValueError("nope"))
+        assert not _transient(urllib.error.URLError("just a string reason"))

@@ -240,3 +240,142 @@ class TestDurability:
         spec = JobSpec.from_dict(enqueues[0]["spec"])
         assert json.dumps(spec.to_dict(), sort_keys=True) \
             == json.dumps(state.spec.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# journal compaction / torn-done recovery
+
+
+def _envelopes(spec):
+    return [{"seq": seq, "ok": True, "result": {"x": seq},
+             "cell": cell.to_dict()}
+            for seq, cell in enumerate(spec.cells)]
+
+
+class TestCompaction:
+    def _finish(self, queue, cells=2, fail=0):
+        state, _ = queue.submit(make_spec(cells=cells))
+        queue.next_job()
+        queue.append_results(state.spec.job_id, _envelopes(state.spec))
+        queue.mark_done(state.spec.job_id, failed_cells=fail)
+        return state.spec.job_id
+
+    def test_explicit_compact_drops_terminal_jobs(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        self._finish(queue)
+        live, _ = queue.submit(make_spec())
+        kept, dropped = queue.compact()
+        assert dropped > 0
+        records = read_run_log(str(tmp_path / "journal.jsonl"))
+        job_ids = {r.get("job_id") for r in records if "job_id" in r}
+        assert job_ids == {live.spec.job_id}
+        assert records[-1]["event"] == "journal_compact"
+        assert records[-1]["kept"] == kept
+
+    def test_compacted_journal_still_replays_live_jobs(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        self._finish(queue)
+        live, _ = queue.submit(make_spec())
+        queue.compact()
+        queue.close()
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 1
+        assert reborn.next_job().spec.job_id == live.spec.job_id
+
+    def test_startup_compacts_automatically(self, tmp_path):
+        queue = DurableJobQueue(str(tmp_path))
+        for _ in range(3):
+            self._finish(queue)
+        queue.close()
+        before = len((tmp_path / "journal.jsonl").read_text().splitlines())
+        reborn = DurableJobQueue(str(tmp_path))
+        reborn.close()
+        after_lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(after_lines) < before
+        events = [json.loads(line)["event"] for line in after_lines]
+        assert events == ["journal_compact"]
+
+    def test_crash_mid_compaction_leaves_old_journal(self, tmp_path,
+                                                     monkeypatch):
+        """The tmp+rename protocol: a crash before the rename loses
+        nothing; the original journal is untouched."""
+        import os as os_mod
+
+        queue = DurableJobQueue(str(tmp_path))
+        self._finish(queue)
+        live, _ = queue.submit(make_spec())
+        before = (tmp_path / "journal.jsonl").read_text()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("crash before rename")
+
+        monkeypatch.setattr(os_mod, "replace", boom)
+        with pytest.raises(RuntimeError):
+            queue.compact()
+        monkeypatch.undo()
+        assert (tmp_path / "journal.jsonl").read_text() == before
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 1
+        assert reborn.next_job().spec.job_id == live.spec.job_id
+
+
+class TestTornDoneRecovery:
+    def _tear_job_done(self, tmp_path):
+        """Finish a job, then strip job_done from the journal — the
+        exact crash window between results-file rename and journaling."""
+        queue = DurableJobQueue(str(tmp_path))
+        state, _ = queue.submit(make_spec(cells=2))
+        queue.next_job()
+        queue.append_results(state.spec.job_id, _envelopes(state.spec))
+        queue.mark_done(state.spec.job_id, failed_cells=0)
+        queue.close()
+        journal = tmp_path / "journal.jsonl"
+        lines = [line for line in journal.read_text().splitlines()
+                 if json.loads(line)["event"] != "job_done"]
+        journal.write_text("\n".join(lines) + "\n")
+        return state.spec.job_id
+
+    def test_complete_results_file_recovers_as_done(self, tmp_path):
+        job_id = self._tear_job_done(tmp_path)
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.recovered_jobs == [job_id]
+        assert reborn.replayed_jobs == 0  # NOT requeued / double-run
+        state = reborn.jobs[job_id]
+        assert state.status == "done"
+        entries, final = reborn.results(job_id)
+        assert final and len(entries) == 2
+
+    def test_recovery_recomputes_failed_cells(self, tmp_path):
+        job_id = self._tear_job_done(tmp_path)
+        results_file = tmp_path / "results" / f"{job_id}.json"
+        envelopes = json.loads(results_file.read_text())
+        envelopes[0]["ok"] = False
+        results_file.write_text(json.dumps(envelopes))
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.jobs[job_id].failed_cells == 1
+
+    def test_recovery_is_journaled(self, tmp_path):
+        job_id = self._tear_job_done(tmp_path)
+        reborn = DurableJobQueue(str(tmp_path))
+        reborn.close()
+        recovered = read_run_log(str(tmp_path / "journal.jsonl"),
+                                 event="job_recovered")
+        assert [r["job_id"] for r in recovered] == [job_id]
+
+    def test_partial_results_file_still_requeues(self, tmp_path):
+        """A torn RESULTS file (not just a torn journal) must re-run."""
+        job_id = self._tear_job_done(tmp_path)
+        results_file = tmp_path / "results" / f"{job_id}.json"
+        envelopes = json.loads(results_file.read_text())
+        results_file.write_text(json.dumps(envelopes[:1]))  # 1 of 2
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.recovered_jobs == []
+        assert reborn.replayed_jobs == 1
+        assert reborn.jobs[job_id].status == "queued"
+
+    def test_unparsable_results_file_still_requeues(self, tmp_path):
+        job_id = self._tear_job_done(tmp_path)
+        (tmp_path / "results" / f"{job_id}.json").write_text("{torn")
+        reborn = DurableJobQueue(str(tmp_path))
+        assert reborn.replayed_jobs == 1
+        assert reborn.jobs[job_id].status == "queued"
