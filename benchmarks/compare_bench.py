@@ -72,7 +72,35 @@ def comparability_issues(
                 f"new={fresh.get(key)!r}); parallel-phase numbers are "
                 "machine-dependent"
             )
+    warnings.extend(_host_warnings(baseline, fresh))
     return issues, warnings
+
+
+def _host_warnings(baseline: dict, fresh: dict) -> List[str]:
+    """Cross-host comparison warnings from the reports' host metadata.
+
+    Wall-clock numbers only mean something within one host; a diff
+    across interpreters or machines still runs (the matrix is the hard
+    gate) but every differing identity field is called out.  Reports
+    that predate the ``host`` block get a softer heads-up instead.
+    """
+    old_host, new_host = baseline.get("host"), fresh.get("host")
+    if old_host is None and new_host is None:
+        return []
+    if old_host is None or new_host is None:
+        which = "baseline" if old_host is None else "new report"
+        return [f"{which} predates host metadata; cannot confirm both "
+                "reports were measured on the same host"]
+    out: List[str] = []
+    for key in sorted(set(old_host) | set(new_host)):
+        old_v, new_v = old_host.get(key), new_host.get(key)
+        if old_v != new_v:
+            out.append(
+                f"cross-host comparison: host.{key} differs "
+                f"(baseline={old_v!r} new={new_v!r}); wall-clock numbers "
+                "are not comparable across hosts"
+            )
+    return out
 
 
 def compare_reports(

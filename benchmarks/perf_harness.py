@@ -60,6 +60,21 @@ def _phase(fn):
     return time.perf_counter() - start, value
 
 
+def host_metadata() -> dict:
+    """Where this report was measured — wall-clock numbers only compare
+    within one host, so the report carries enough identity for
+    ``compare_bench.py`` to warn on cross-host diffs."""
+    import platform
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def run_harness(ops: int, jobs: int, smoke: bool) -> dict:
     workloads = SMOKE_NAMES if smoke else SMOKE_NAMES + ("mdep_chain", "dag_wide")
     arches = SMOKE_ARCHES if smoke else FULL_ARCHES
@@ -68,6 +83,7 @@ def run_harness(ops: int, jobs: int, smoke: bool) -> dict:
         "ops": ops,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
+        "host": host_metadata(),
         "workloads": list(workloads),
         "arches": list(arches),
         "simulations": len(tasks),

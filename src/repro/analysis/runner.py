@@ -39,6 +39,8 @@ Environment knobs:
   as an escape hatch.
 * ``REPRO_RUN_LOG`` — path of a JSONL campaign run-log (see
   :mod:`repro.telemetry.runlog`); empty/unset disables it.
+* ``REPRO_SPANS`` — path of a spans-JSONL trace file (see
+  :mod:`repro.telemetry.spans`); empty/unset disables span tracing.
 * ``REPRO_CHAOS`` — fault-injection spec for the chaos harness (see
   :mod:`repro.verify.chaos`); empty/unset means no injection.
 """
@@ -61,6 +63,7 @@ from ..core.pipeline import SimulationDeadlock, simulate
 from ..core.stats import RESULT_SCHEMA_VERSION, SimResult
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.runlog import RunLog
+from ..telemetry.spans import SpanContext, SpanRecorder, derive_span_id
 from ..workloads.suite import SUITE_NAMES, get_trace
 
 DEFAULT_OPS = int(os.environ.get("REPRO_BENCH_OPS", "10000"))
@@ -163,6 +166,28 @@ def _run_task(payload) -> Dict:
     }
 
 
+def _phase_span_hook(recorder: SpanRecorder, parent):
+    """Phase-transition callback turning sampled-sim phases into spans.
+
+    :class:`~repro.core.sampling.SampledSimulation` calls the hook with
+    ``(old_phase, new_phase)`` at every transition; each interesting
+    phase (fast-forward, warmup window, measured window) becomes one
+    ``sim.<phase>`` span under the cell.  Only the in-process serial
+    path wires this — pool workers have no recorder to stream to.
+    """
+    state = {"span": None}
+
+    def hook(old_phase: str, new_phase: str) -> None:
+        if state["span"] is not None:
+            recorder.finish(state["span"])
+            state["span"] = None
+        if new_phase in ("ff", "warmup", "measure"):
+            state["span"] = recorder.start(f"sim.{new_phase}",
+                                           parent=parent)
+
+    return hook
+
+
 class ExperimentRunner:
     """Runs and caches (workload x config) simulations.
 
@@ -187,6 +212,13 @@ class ExperimentRunner:
             MetricsRegistry` fed campaign health counters (currently
             ``runner.cache_warnings``) so long-lived hosts — the
             ``repro serve`` daemon — can export them.
+        spans: Span tracing (see :mod:`repro.telemetry.spans`): a
+            :class:`SpanRecorder`, a spans-JSONL path, "" to disable,
+            or ``None`` to read ``$REPRO_SPANS``.  Off by default;
+            like the tracer, every hook is a nullable-reference check.
+        trace_ctx: Parent :class:`SpanContext` for this runner's
+            campaigns (a shard span, a serve job span); ``None`` makes
+            each traced :meth:`run_many` open its own campaign root.
     """
 
     def __init__(
@@ -202,6 +234,8 @@ class ExperimentRunner:
         progress=None,
         heartbeat_interval: float = 2.0,
         metrics: Optional[MetricsRegistry] = None,
+        spans: Union[None, str, SpanRecorder] = None,
+        trace_ctx: Optional[SpanContext] = None,
     ):
         self.target_ops = target_ops
         self.seed = seed
@@ -243,6 +277,18 @@ class ExperimentRunner:
         self.heartbeat_interval = heartbeat_interval
         self._last_heartbeat = 0.0
         self.metrics = metrics
+        if spans is None:
+            spans = os.environ.get("REPRO_SPANS", "")
+        if isinstance(spans, SpanRecorder):
+            self.spans: Optional[SpanRecorder] = spans
+        else:
+            self.spans = SpanRecorder(spans) if spans else None
+        self.trace_ctx = trace_ctx
+        #: parent context of the campaign currently executing (the
+        #: campaign root span, a shard span or a serve job span);
+        #: stamps trace/span ids onto run-log lifecycle events.
+        self._trace_parent: Optional[SpanContext] = trace_ctx
+        self._campaign_t0 = time.perf_counter()
 
     # ------------------------------------------------------------------
     # campaign observability
@@ -250,6 +296,29 @@ class ExperimentRunner:
     def _log(self, event: str, **fields) -> None:
         if self.run_log is not None:
             self.run_log.log(event, **fields)
+
+    def _cell_trace(self, key: str) -> Dict[str, str]:
+        """Trace-correlation fields for one cell's lifecycle events.
+
+        The span id is *derived* from the trace id and cache key, so
+        every host executing (or re-executing) the same cell agrees on
+        it without coordination — run-logs and span files merge by id.
+        Empty when tracing is off (the common case, one attr check).
+        """
+        parent = self._trace_parent
+        if parent is None:
+            return {}
+        return {
+            "trace_id": parent.trace_id,
+            "span_id": derive_span_id(parent.trace_id, "cell", key),
+            "parent_id": parent.span_id,
+        }
+
+    def _campaign_trace(self) -> Dict[str, str]:
+        parent = self._trace_parent
+        if parent is None:
+            return {}
+        return {"trace_id": parent.trace_id, "span_id": parent.span_id}
 
     def _heartbeat(self, done: int, total: int, inflight: int,
                    queued: int, force: bool = False) -> None:
@@ -260,12 +329,21 @@ class ExperimentRunner:
         if not force and now - self._last_heartbeat < self.heartbeat_interval:
             return
         self._last_heartbeat = now
+        elapsed = max(time.perf_counter() - self._campaign_t0, 1e-9)
+        rate = done / elapsed
+        eta = (round((total - done) / rate, 3)
+               if rate > 0 and total >= done else None)
         self._log("heartbeat", done=done, total=total,
-                  inflight=inflight, queued=queued)
+                  inflight=inflight, queued=queued,
+                  elapsed_s=round(elapsed, 3),
+                  sims_per_sec=round(rate, 4), eta_s=eta,
+                  **self._campaign_trace())
         if self.progress is not None:
+            eta_text = "--" if eta is None else f"{eta:.0f}s"
             self.progress(
                 f"[runner] {done}/{total} done · {inflight} in flight · "
-                f"{queued} queued · {self.retries_performed} retried · "
+                f"{queued} queued · {rate:.2f} sims/s · ETA {eta_text} · "
+                f"{self.retries_performed} retried · "
                 f"{len(self.quarantined)} quarantined"
             )
 
@@ -404,10 +482,11 @@ class ExperimentRunner:
         result = self._fetch_cached(key)
         if result is not None:
             self._log("cache_hit", key=key, workload=workload,
-                      config=config.name, seed=seed)
+                      config=config.name, seed=seed,
+                      **self._cell_trace(key))
             return result
         self._log("start", key=key, workload=workload, config=config.name,
-                  seed=seed, attempt=0)
+                  seed=seed, attempt=0, **self._cell_trace(key))
         started = time.perf_counter()
         trace = get_trace(workload, self.target_ops, seed)
         result = simulate(trace, config)
@@ -416,7 +495,7 @@ class ExperimentRunner:
         self._log("finish", key=key, workload=workload, config=config.name,
                   seed=seed, attempt=0,
                   seconds=round(time.perf_counter() - started, 6),
-                  worker=os.getpid())
+                  worker=os.getpid(), **self._cell_trace(key))
         return result
 
     # ------------------------------------------------------------------
@@ -434,7 +513,19 @@ class ExperimentRunner:
         self.quarantined[key] = failed
         self.failures.append(failed)
         self._log("quarantine", key=key, kind=kind, error=error,
-                  attempts=attempts)
+                  attempts=attempts, **self._cell_trace(key))
+        if self.spans is not None and self._trace_parent is not None:
+            # instant error span: the live/envelope timing was lost to
+            # the failure, but the derived id still lands the cell in
+            # the merged trace, marked failed
+            now_t = time.time()
+            self.spans.record(
+                "cell", parent=self._trace_parent, start_t=now_t,
+                end_t=now_t, status="error",
+                span_id=derive_span_id(self._trace_parent.trace_id,
+                                       "cell", key),
+                workload=workload, config=config.name, seed=seed,
+                kind=kind, attempts=attempts)
         return failed
 
     @staticmethod
@@ -458,6 +549,7 @@ class ExperimentRunner:
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
                  lockstep: Optional[bool] = None,
+                 trace: Optional[SpanContext] = None,
                  ) -> List[Union[SimResult, FailedResult]]:
         """Run (or fetch) a batch of simulations, results in task order.
 
@@ -486,7 +578,11 @@ class ExperimentRunner:
         batch out (e.g. for A/B throughput measurement).
 
         ``jobs`` / ``timeout`` / ``retries`` / ``lockstep`` default to
-        the runner's constructor values.
+        the runner's constructor values.  ``trace`` names the parent
+        span context for this batch (overriding the runner-level
+        ``trace_ctx``): with a recorder attached, cell spans parent
+        directly under it; with neither, a traced batch opens its own
+        ``campaign`` root span.
         """
         norm: List[Tuple[str, CoreConfig, int]] = []
         for task in tasks:
@@ -499,33 +595,73 @@ class ExperimentRunner:
         retries = self.retries if retries is None else max(0, retries)
         lockstep = self.lockstep if lockstep is None else lockstep
 
-        pending: Dict[str, Tuple[str, CoreConfig, int]] = {}
-        logged_hits = set()
-        for key, triple in zip(keys, norm):
-            if key in pending or key in self.quarantined:
-                continue
-            if self._fetch_cached(key) is None:
-                pending[key] = triple
-            elif key not in logged_hits:
-                logged_hits.add(key)
-                self._log("cache_hit", key=key, workload=triple[0],
-                          config=triple[1].name, seed=triple[2])
+        recorder = self.spans
+        previous_parent = self._trace_parent
+        parent = trace if trace is not None else self.trace_ctx
+        campaign_span = None
+        if recorder is not None and parent is None:
+            campaign_span = recorder.start("campaign", tasks=len(norm))
+            parent = campaign_span.context
+        self._trace_parent = parent
+        try:
+            probe_span = None
+            if recorder is not None and parent is not None:
+                probe_span = recorder.start("cache_probe", parent=parent)
+            pending: Dict[str, Tuple[str, CoreConfig, int]] = {}
+            logged_hits = set()
+            for key, triple in zip(keys, norm):
+                if key in pending or key in self.quarantined:
+                    continue
+                if self._fetch_cached(key) is None:
+                    pending[key] = triple
+                elif key not in logged_hits:
+                    logged_hits.add(key)
+                    self._log("cache_hit", key=key, workload=triple[0],
+                              config=triple[1].name, seed=triple[2],
+                              **self._cell_trace(key))
+                    if recorder is not None and parent is not None:
+                        now_t = time.time()
+                        recorder.record(
+                            "cell", parent=parent, start_t=now_t,
+                            end_t=now_t,
+                            span_id=derive_span_id(parent.trace_id,
+                                                   "cell", key),
+                            workload=triple[0], config=triple[1].name,
+                            seed=triple[2], cached=True)
+            if probe_span is not None:
+                recorder.finish(probe_span, tasks=len(norm),
+                                hits=len(logged_hits),
+                                misses=len(pending))
 
-        parallel = bool(pending) and jobs > 1 and len(pending) > 1
-        self._log("campaign_start", tasks=len(norm), pending=len(pending),
-                  jobs=jobs, mode="parallel" if parallel else "serial")
-        campaign_started = time.perf_counter()
-        sims_before, hits_before = self.simulations_run, self.cache_hits
-        if parallel:
-            self._run_parallel(pending, jobs, timeout, retries)
-        elif pending:
-            self._run_serial(pending, retries, lockstep)
-        self._log("campaign_end",
-                  seconds=round(time.perf_counter() - campaign_started, 6),
-                  simulations=self.simulations_run - sims_before,
-                  cache_hits=self.cache_hits - hits_before,
-                  retries=self.retries_performed, timeouts=self.timeouts,
-                  quarantined=len(self.quarantined))
+            parallel = bool(pending) and jobs > 1 and len(pending) > 1
+            self._log("campaign_start", tasks=len(norm),
+                      pending=len(pending), jobs=jobs,
+                      mode="parallel" if parallel else "serial",
+                      **self._campaign_trace())
+            campaign_started = time.perf_counter()
+            self._campaign_t0 = campaign_started
+            sims_before, hits_before = self.simulations_run, self.cache_hits
+            if parallel:
+                self._run_parallel(pending, jobs, timeout, retries)
+            elif pending:
+                self._run_serial(pending, retries, lockstep)
+            self._log("campaign_end",
+                      seconds=round(time.perf_counter() - campaign_started,
+                                    6),
+                      simulations=self.simulations_run - sims_before,
+                      cache_hits=self.cache_hits - hits_before,
+                      retries=self.retries_performed,
+                      timeouts=self.timeouts,
+                      quarantined=len(self.quarantined),
+                      **self._campaign_trace())
+            if campaign_span is not None:
+                recorder.finish(
+                    campaign_span,
+                    simulations=self.simulations_run - sims_before,
+                    cache_hits=self.cache_hits - hits_before,
+                    quarantined=len(self.quarantined))
+        finally:
+            self._trace_parent = previous_parent
 
         out: List[Union[SimResult, FailedResult]] = []
         for key in keys:
@@ -559,19 +695,40 @@ class ExperimentRunner:
         if lockstep and len(pending) > 1:
             pending = self._run_lockstep_tier(pending)
         total = len(pending)
+        recorder, parent = self.spans, self._trace_parent
         for done, (key, (workload, config, seed)) in enumerate(pending.items()):
+            cell_span = None
+            if recorder is not None and parent is not None:
+                cell_span = recorder.start(
+                    "cell", parent=parent,
+                    span_id=derive_span_id(parent.trace_id, "cell", key),
+                    workload=workload, config=config.name, seed=seed)
             attempt = 0
             while True:
                 self._log("start", key=key, workload=workload,
-                          config=config.name, seed=seed, attempt=attempt)
+                          config=config.name, seed=seed, attempt=attempt,
+                          **self._cell_trace(key))
                 started = time.perf_counter()
                 try:
-                    trace = get_trace(workload, self.target_ops, seed)
-                    self._finish(key, simulate(trace, config))
+                    if cell_span is not None:
+                        with recorder.span("trace_decode",
+                                           parent=cell_span):
+                            trace = get_trace(workload, self.target_ops,
+                                              seed)
+                        hook = _phase_span_hook(recorder, cell_span)
+                        with recorder.span("simulate", parent=cell_span):
+                            result = simulate(trace, config,
+                                              phase_hook=hook)
+                        self._finish(key, result)
+                    else:
+                        trace = get_trace(workload, self.target_ops, seed)
+                        self._finish(key, simulate(trace, config))
                     self._log("finish", key=key, workload=workload,
                               config=config.name, seed=seed, attempt=attempt,
                               seconds=round(time.perf_counter() - started, 6),
-                              worker=os.getpid())
+                              worker=os.getpid(), **self._cell_trace(key))
+                    if cell_span is not None:
+                        recorder.finish(cell_span, attempts=attempt + 1)
                     break
                 except KeyboardInterrupt:
                     raise
@@ -581,8 +738,11 @@ class ExperimentRunner:
                     if kind != "deadlock" and attempt <= retries:
                         self.retries_performed += 1
                         self._log("retry", key=key, attempt=attempt,
-                                  kind=kind, error=error)
+                                  kind=kind, error=error,
+                                  **self._cell_trace(key))
                         continue
+                    # the open cell_span is dropped unwritten; the
+                    # quarantine path records the cell's error span
                     self._quarantine(key, (workload, config, seed), kind,
                                      error, attempt, snapshot)
                     break
@@ -617,8 +777,10 @@ class ExperimentRunner:
             configs = [pending[key][1] for key in group_keys]
             for key, config in zip(group_keys, configs):
                 self._log("start", key=key, workload=workload,
-                          config=config.name, seed=seed, attempt=0)
+                          config=config.name, seed=seed, attempt=0,
+                          **self._cell_trace(key))
             started = time.perf_counter()
+            group_start_t = time.time()
             try:
                 trace = get_trace(workload, self.target_ops, seed)
                 outcomes = run_lockstep(trace, configs)
@@ -629,17 +791,31 @@ class ExperimentRunner:
                           cells=len(group_keys), completed=0,
                           seconds=round(time.perf_counter() - started, 6))
                 self._log("retry", key=group_keys[0], attempt=1,
-                          kind="error", error=f"{type(exc).__name__}: {exc}")
+                          kind="error", error=f"{type(exc).__name__}: {exc}",
+                          **self._cell_trace(group_keys[0]))
                 continue
             seconds = time.perf_counter() - started
             cell_seconds = round(seconds / len(group_keys), 6)
             completed = 0
+            recorder, parent = self.spans, self._trace_parent
+            group_end_t = time.time()
             for key, config, outcome in zip(group_keys, configs, outcomes):
                 if isinstance(outcome, SimResult):
                     self._finish(key, outcome)
                     self._log("finish", key=key, workload=workload,
                               config=config.name, seed=seed, attempt=0,
-                              seconds=cell_seconds, worker=os.getpid())
+                              seconds=cell_seconds, worker=os.getpid(),
+                              **self._cell_trace(key))
+                    if recorder is not None and parent is not None:
+                        # the group ran all cells in one pass; each cell
+                        # span carries the shared wall-clock bracket
+                        recorder.record(
+                            "cell", parent=parent, start_t=group_start_t,
+                            end_t=group_end_t,
+                            span_id=derive_span_id(parent.trace_id,
+                                                   "cell", key),
+                            workload=workload, config=config.name,
+                            seed=seed, lockstep=True)
                     del remaining[key]
                     completed += 1
                 elif isinstance(outcome, SimulationDeadlock):
@@ -650,7 +826,14 @@ class ExperimentRunner:
                 else:  # transient failure: one attempt charged, fall back
                     self.retries_performed += 1
                     self._log("retry", key=key, attempt=1, kind="error",
-                              error=f"{type(outcome).__name__}: {outcome}")
+                              error=f"{type(outcome).__name__}: {outcome}",
+                              **self._cell_trace(key))
+            if recorder is not None and parent is not None:
+                recorder.record(
+                    "lockstep_group", parent=parent,
+                    start_t=group_start_t, end_t=group_end_t,
+                    workload=workload, seed=seed,
+                    cells=len(group_keys), completed=completed)
             self.lockstep_groups += 1
             if self.metrics is not None:
                 self.metrics.count("runner.lockstep_groups")
@@ -695,7 +878,7 @@ class ExperimentRunner:
             if kind != "deadlock" and attempt < retries:
                 self.retries_performed += 1
                 self._log("retry", key=key, attempt=attempt + 1,
-                          kind=kind, error=error)
+                          kind=kind, error=error, **self._cell_trace(key))
                 queue.append((key, attempt + 1))
             else:
                 self._quarantine(key, pending[key], kind, error,
@@ -734,7 +917,8 @@ class ExperimentRunner:
                     key, attempt = queue.popleft()
                     workload, config, seed = pending[key]
                     self._log("submit", key=key, workload=workload,
-                              config=config.name, seed=seed, attempt=attempt)
+                              config=config.name, seed=seed, attempt=attempt,
+                              **self._cell_trace(key))
                     future = pool.submit(_run_task, payload(key, attempt))
                     deadline = (time.monotonic() + timeout) if timeout else None
                     inflight[future] = (key, deadline, attempt)
@@ -761,7 +945,22 @@ class ExperimentRunner:
                                   config=config.name, seed=seed,
                                   attempt=attempt,
                                   seconds=envelope["seconds"],
-                                  worker=envelope["worker"])
+                                  worker=envelope["worker"],
+                                  **self._cell_trace(key))
+                        if self.spans is not None \
+                                and self._trace_parent is not None:
+                            # the worker reported its wall-clock bracket;
+                            # record the cell span on its behalf
+                            parent = self._trace_parent
+                            end_t = time.time()
+                            self.spans.record(
+                                "cell", parent=parent,
+                                start_t=end_t - envelope["seconds"],
+                                end_t=end_t,
+                                span_id=derive_span_id(parent.trace_id,
+                                                       "cell", key),
+                                workload=workload, config=config.name,
+                                seed=seed, worker=envelope["worker"])
                 finished = sum(
                     1 for k in pending
                     if k in self._memory or k in self.quarantined
@@ -788,7 +987,8 @@ class ExperimentRunner:
                             key, _, attempt = inflight[future]
                             self.timeouts += 1
                             self._log("timeout", key=key, attempt=attempt,
-                                      timeout_s=timeout)
+                                      timeout_s=timeout,
+                                      **self._cell_trace(key))
                             fail_or_requeue(
                                 key, attempt, "timeout",
                                 f"exceeded {timeout:g}s wall-clock timeout")

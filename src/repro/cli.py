@@ -248,6 +248,9 @@ def _make_parser() -> argparse.ArgumentParser:
     met.add_argument("--trace-out", default=None, metavar="FILE",
                      help="write a Chrome trace with counter ('C') "
                           "tracks overlaid on the pipeline events")
+    met.add_argument("--prometheus", action="store_true",
+                     help="print the metrics registry in Prometheus "
+                          "text exposition format instead of tables")
 
     suite = sub.add_parser("suite", help="run the whole suite on one design")
     suite.add_argument("arch", choices=_ALL_ARCHES)
@@ -364,6 +367,10 @@ def _make_parser() -> argparse.ArgumentParser:
                                 "jobs/s (default 10)")
     serve_cmd.add_argument("--burst", type=float, default=20,
                            help="per-tenant submit burst (default 20)")
+    serve_cmd.add_argument("--spans", action="store_true",
+                           help="record job/shard/cell spans to "
+                                "<queue-dir>/spans.jsonl "
+                                "(see docs/observability.md)")
 
     submit_cmd = sub.add_parser(
         "submit", help="submit a job to a running `repro serve` daemon")
@@ -390,6 +397,11 @@ def _make_parser() -> argparse.ArgumentParser:
                                  "result table")
     submit_cmd.add_argument("--timeout", type=float, default=300.0,
                             help="--wait timeout in seconds (default 300)")
+    submit_cmd.add_argument("--trace", nargs="?", const="new", default=None,
+                            metavar="TRACE_ID:SPAN_ID",
+                            help="propagate a span-trace parent context "
+                                 "with the job; bare --trace mints fresh "
+                                 "ids (printed for correlation)")
 
     poll_cmd = sub.add_parser(
         "poll", help="poll a job on a running `repro serve` daemon")
@@ -436,6 +448,11 @@ def _make_parser() -> argparse.ArgumentParser:
                               help="shared result cache the shards "
                                    "merge through (default: the global "
                                    "cache)")
+    campaign_cmd.add_argument("--spans", action="store_true",
+                              help="shard runs: record shard/cell spans "
+                                   "to spans-K-of-N.jsonl; merge: stitch "
+                                   "them into merged-spans.jsonl + a "
+                                   "Chrome trace.json")
     # global knobs after the subcommand too (`repro campaign --seed 0`)
     campaign_cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS)
     campaign_cmd.add_argument("--ops", type=int, default=argparse.SUPPRESS)
@@ -474,6 +491,28 @@ def _make_parser() -> argparse.ArgumentParser:
     reconcile_cmd.add_argument("--jobs", type=int,
                                default=argparse.SUPPRESS,
                                help="worker processes for local repairs")
+    reconcile_cmd.add_argument("--spans", action="store_true",
+                               help="record reconcile-round and repair "
+                                    "spans into the campaign's trace")
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="live campaign monitor: tail run-logs and/or poll a "
+             "`repro serve` daemon (see docs/observability.md)")
+    top_cmd.add_argument("run_logs", nargs="*", metavar="LOG",
+                         help="JSONL run-log(s) to tail (shard logs, "
+                              "reconcile logs, runner logs)")
+    top_cmd.add_argument("--server", default=None, metavar="URL",
+                         help="also poll this daemon's /healthz and "
+                              "/metricsz")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         metavar="S",
+                         help="refresh interval in seconds (default 2)")
+    top_cmd.add_argument("--once", action="store_true",
+                         help="render one frame and exit (scripting/CI)")
+    top_cmd.add_argument("--window", type=float, default=60.0, metavar="S",
+                         help="rolling window for the sims/sec rate "
+                              "(default 60)")
     return parser
 
 
@@ -816,6 +855,12 @@ def _cmd_metrics(args) -> int:
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote metrics JSON: {args.json_out}")
+    if args.prometheus:
+        from .telemetry import render_prometheus
+
+        labels = {"workload": args.workload, "config": cfg.name}
+        print(render_prometheus(registry.snapshot(), labels=labels), end="")
+        return 0
     print(format_table(
         ["metric", "value"],
         [
@@ -1156,6 +1201,7 @@ def _cmd_serve(args) -> int:
             task_timeout=args.task_timeout, retries=args.retries,
             run_log=args.run_log,
         ),
+        spans=args.spans,
     )
     daemon.start()
     print(f"serving on {daemon.url} (queue: {queue_dir}, "
@@ -1208,6 +1254,20 @@ def _cmd_submit(args) -> int:
     from .serve.client import ServeClient, ServeError
     from .serve.protocol import PROTOCOL_VERSION
 
+    trace = None
+    if args.trace is not None:
+        from .telemetry.spans import SpanContext, new_span_id, new_trace_id
+
+        if args.trace == "new":
+            trace = SpanContext(new_trace_id(), new_span_id()).to_dict()
+        else:
+            try:
+                trace_id, _, span_id = args.trace.partition(":")
+                trace = SpanContext(trace_id, span_id).to_dict()
+                SpanContext.from_dict(trace)
+            except ValueError as exc:
+                print(f"bad --trace: {exc}", file=sys.stderr)
+                return 2
     client = ServeClient(args.server)
     try:
         health = client.health()
@@ -1225,6 +1285,7 @@ def _cmd_submit(args) -> int:
             priority=args.priority,
             tenant=args.tenant,
             idempotency_key=args.idempotency_key,
+            trace=trace,
         )
     except ServeError as exc:
         print(f"submit rejected: {exc}", file=sys.stderr)
@@ -1232,6 +1293,8 @@ def _cmd_submit(args) -> int:
     verb = "submitted" if job["created"] else "already submitted"
     print(f"{verb}: job {job['job_id']} ({job['cells']} cells, "
           f"{job['priority']} lane)")
+    if trace is not None:
+        print(f"trace {trace['trace_id']} span {trace['span_id']}")
     if not args.wait:
         return 0
     return _print_job_results(client, job["job_id"], args.timeout)
@@ -1294,7 +1357,9 @@ def _campaign_spec(args):
 
 
 def _cmd_campaign(args) -> int:
-    from .distrib import merge_shards, run_shard
+    from pathlib import Path
+
+    from .distrib import merge_shards, merge_trace, run_shard
 
     for arch in args.arches or ():
         if arch not in _ALL_ARCHES:
@@ -1307,7 +1372,7 @@ def _cmd_campaign(args) -> int:
         results = run_shard(
             spec, shard, args.campaign_dir, cache_dir=cache,
             jobs=args.jobs, task_timeout=args.task_timeout,
-            retries=args.retries, progress=progress)
+            retries=args.retries, progress=progress, spans=args.spans)
         failed = sum(1 for result in results if not result.ok)
         print(f"shard {shard}/{spec.n_shards}: {len(results)} cell(s), "
               f"{failed} failed")
@@ -1315,6 +1380,12 @@ def _cmd_campaign(args) -> int:
     if args.merge:
         merged = merge_shards(spec, args.campaign_dir, cache_dir=cache)
         print(merged.summary())
+        has_spans = any(Path(args.campaign_dir).glob("spans-*.jsonl"))
+        if args.spans or has_spans:
+            spans = merge_trace(spec, args.campaign_dir, chrome=True)
+            cells = sum(1 for span in spans if span.name == "cell")
+            print(f"merged trace: {len(spans)} span(s), {cells} cell "
+                  f"span(s) -> merged-spans.jsonl + trace.json")
         if merged.gaps:
             print(f"gaps (submission indices): {merged.gaps}")
             print("run `repro reconcile` to repair them")
@@ -1351,7 +1422,7 @@ def _cmd_reconcile(args) -> int:
         args.campaign_dir, spec=spec, cache_dir=cache,
         max_rounds=args.max_rounds, cell_budget=args.budget,
         server=args.server, jobs=args.jobs,
-        progress=print if args.progress else None)
+        progress=print if args.progress else None, spans=args.spans)
     print(report.summary())
     if args.out:
         path = Path(args.out).resolve()
@@ -1360,6 +1431,18 @@ def _cmd_reconcile(args) -> int:
                                        sort_keys=True) + "\n")
         print(f"wrote reconcile report: {args.out}")
     return 0 if report.converged else 1
+
+
+def _cmd_top(args) -> int:
+    from .telemetry.top import run_top
+
+    if not args.run_logs and not args.server:
+        print("nothing to watch: pass run-log path(s) and/or --server",
+              file=sys.stderr)
+        return 2
+    return run_top(args.run_logs, server=args.server,
+                   interval=args.interval, once=args.once,
+                   window_s=args.window)
 
 
 _COMMANDS = {
@@ -1380,6 +1463,7 @@ _COMMANDS = {
     "poll": _cmd_poll,
     "campaign": _cmd_campaign,
     "reconcile": _cmd_reconcile,
+    "top": _cmd_top,
 }
 
 

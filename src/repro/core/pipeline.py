@@ -931,6 +931,7 @@ def simulate(
     attribution: Optional[StallAttribution] = None,
     metrics: Optional[MetricsRegistry] = None,
     sampler: Optional[IntervalSampler] = None,
+    phase_hook=None,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`Pipeline` and run it.
 
@@ -941,13 +942,16 @@ def simulate(
     and the serve worker pool inherit sampled execution.  Telemetry
     hooks (tracer/attribution/metrics/sampler) force a full-detail run:
     their per-µop / per-cycle semantics are undefined across
-    fast-forwarded gaps.
+    fast-forwarded gaps.  ``phase_hook`` (see :class:`~repro.core.
+    sampling.SampledSimulation`) observes the sampled phase machine;
+    it is ignored on full-detail runs, which have no phases.
     """
     if config.sample_period > 0 and tracer is None and attribution is None \
             and metrics is None and sampler is None:
         from .sampling import simulate_sampled
 
-        return simulate_sampled(trace, config, max_cycles=max_cycles)
+        return simulate_sampled(trace, config, max_cycles=max_cycles,
+                                phase_hook=phase_hook)
     pipeline = Pipeline(
         trace, config, tracer=tracer, attribution=attribution,
         metrics=metrics, sampler=sampler,

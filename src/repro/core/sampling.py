@@ -249,7 +249,7 @@ class SampledSimulation:
     """
 
     def __init__(self, trace: Trace, config: CoreConfig,
-                 scheduler_factory=None):
+                 scheduler_factory=None, phase_hook=None):
         if config.sample_period <= 0:
             raise ValueError("SampledSimulation needs sample_period > 0")
         if config.sample_window <= 0:
@@ -275,6 +275,13 @@ class SampledSimulation:
         #: whole-trace window: run one exact full-detail pipeline
         self._exact = config.sample_window >= len(trace)
         self._pipe: Optional[Pipeline] = None
+        #: nullable phase observer, called with ``(old_phase,
+        #: new_phase)`` at every transition of the phase machine
+        #: (idle/ff/warmup/measure/exact/done).  Span tracing hangs
+        #: ``sim.ff`` / ``sim.warmup`` / ``sim.measure`` spans off it;
+        #: ``None`` (the default) costs one attribute check per
+        #: *transition*, never per step.
+        self.phase_hook = phase_hook
         self._phase = "idle"
         self._cursor = 0  # trace ops consumed (committed or skipped)
         self._next_start = 0  # where the next measured window begins
@@ -282,6 +289,14 @@ class SampledSimulation:
         self._ff_dirty = False  # hierarchy timing skewed by fast-forward
 
     # -- phase machine -------------------------------------------------
+    def _set_phase(self, new_phase: str) -> None:
+        old_phase = self._phase
+        if new_phase == old_phase:
+            return
+        self._phase = new_phase
+        if self.phase_hook is not None:
+            self.phase_hook(old_phase, new_phase)
+
     def begin(self, max_cycles: int = 50_000_000) -> None:
         self._max_cycles = max_cycles
         if self._exact:
@@ -290,7 +305,7 @@ class SampledSimulation:
                 frontend=self.frontend, hierarchy=self.hier, mdp=self.mdp,
             )
             self._pipe.begin(max_cycles)
-            self._phase = "exact"
+            self._set_phase("exact")
             return
         self._advance_phase()
 
@@ -316,7 +331,7 @@ class SampledSimulation:
         self.cycle = pipe.cycle
         if phase == "exact":
             if not alive:
-                self._phase = "done"
+                self._set_phase("done")
             return alive
         if phase == "warmup":
             if not alive:
@@ -341,11 +356,11 @@ class SampledSimulation:
     def _advance_phase(self) -> None:
         total = len(self.trace)
         if self._cursor >= total:
-            self._phase = "done"
+            self._set_phase("done")
             return
         if self._cursor < self._next_start:
             self._gap_remaining = min(self._next_start, total) - self._cursor
-            self._phase = "ff"
+            self._set_phase("ff")
             return
         self._start_window()
 
@@ -379,7 +394,7 @@ class SampledSimulation:
         self._sampler = IntervalSampler(1 << 60)  # manual takes only
         self._sampler.take(pipe)
         if config.warmup_cycles > 0:
-            self._phase = "warmup"
+            self._set_phase("warmup")
         else:
             self._begin_measure()
 
@@ -389,7 +404,7 @@ class SampledSimulation:
         self._sampler.take(pipe)
         self.warmup_ops += pipe.commit_count
         self._measure_target = pipe.commit_count + self.config.sample_window
-        self._phase = "measure"
+        self._set_phase("measure")
 
     def _end_window(self, early: bool) -> None:
         pipe = self._pipe
@@ -579,6 +594,8 @@ def build_simulation(trace: Trace, config: CoreConfig):
 
 
 def simulate_sampled(trace: Trace, config: CoreConfig,
-                     max_cycles: int = 50_000_000) -> SimResult:
+                     max_cycles: int = 50_000_000,
+                     phase_hook=None) -> SimResult:
     """Run one sampled simulation (the ``simulate()`` dispatch target)."""
-    return SampledSimulation(trace, config).run(max_cycles=max_cycles)
+    return SampledSimulation(trace, config, phase_hook=phase_hook).run(
+        max_cycles=max_cycles)

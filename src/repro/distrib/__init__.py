@@ -26,13 +26,17 @@ Two layers (see docs/robustness.md):
 from .campaign import (  # noqa: F401
     CampaignSpec,
     MergedCampaign,
+    campaign_root_context,
+    campaign_trace_id,
     cell_label,
     load_manifest,
     merge_shards,
+    merge_trace,
     run_shard,
     shard_cells,
     shard_log_path,
     shard_of,
+    shard_spans_path,
 )
 from .reconcile import (  # noqa: F401
     CELL_STATES,
@@ -50,13 +54,17 @@ from .reconcile import (  # noqa: F401
 __all__ = [
     "CampaignSpec",
     "MergedCampaign",
+    "campaign_root_context",
+    "campaign_trace_id",
     "cell_label",
     "load_manifest",
     "merge_shards",
+    "merge_trace",
     "run_shard",
     "shard_cells",
     "shard_log_path",
     "shard_of",
+    "shard_spans_path",
     "CELL_STATES",
     "CampaignDiff",
     "CellStatus",

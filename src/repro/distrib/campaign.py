@@ -43,12 +43,21 @@ from ..core.stats import SimResult
 from ..serve.protocol import Cell, expand_matrix, result_envelope
 from ..serve.resequencer import Resequencer
 from ..telemetry.runlog import read_run_log_tolerant
+from ..telemetry.spans import (Span, SpanContext, SpanRecorder,
+                               derive_span_id, derive_trace_id, merge_spans,
+                               read_spans, spans_to_chrome, write_spans)
 
 #: Manifest file name inside a campaign directory.
 MANIFEST_NAME = "campaign.json"
 
 #: Merged, submission-ordered result stream written by the merge stage.
 MERGED_NAME = "merged.json"
+
+#: Merged, deduplicated span stream written by :func:`merge_trace`.
+MERGED_SPANS_NAME = "merged-spans.jsonl"
+
+#: Chrome trace-event view of the merged spans (``chrome://tracing``).
+TRACE_VIEW_NAME = "trace.json"
 
 
 def cell_label(cell: Cell) -> str:
@@ -88,6 +97,33 @@ def shard_cells(
 def shard_log_path(campaign_dir: Union[str, Path], shard: int,
                    n_shards: int) -> Path:
     return Path(campaign_dir) / f"shard-{shard}-of-{n_shards}.jsonl"
+
+
+def shard_spans_path(campaign_dir: Union[str, Path], shard: int,
+                     n_shards: int) -> Path:
+    return Path(campaign_dir) / f"spans-{shard}-of-{n_shards}.jsonl"
+
+
+def campaign_trace_id(spec: "CampaignSpec") -> str:
+    """The campaign's deterministic trace id.
+
+    Derived from the manifest payload, so every shard — on any host,
+    with no coordination — agrees on the one trace its spans belong to
+    (the same trick :func:`shard_of` plays for the cell partition).
+    """
+    return derive_trace_id(
+        "campaign", json.dumps(spec.to_dict(), sort_keys=True))
+
+
+def campaign_root_context(spec: "CampaignSpec") -> SpanContext:
+    """Parent context of the whole campaign: the synthetic root span.
+
+    Shards parent their ``shard`` span under this id without any shard
+    actually writing the root; :func:`merge_trace` synthesises it from
+    the merged shard spans' envelope.
+    """
+    trace_id = campaign_trace_id(spec)
+    return SpanContext(trace_id, derive_span_id(trace_id, "campaign"))
 
 
 @dataclass(frozen=True)
@@ -201,6 +237,7 @@ def run_shard(
     task_timeout: Optional[float] = None,
     retries: Optional[int] = None,
     progress=None,
+    spans: bool = False,
 ) -> List[Union[SimResult, FailedResult]]:
     """Execute one shard of the campaign on this host.
 
@@ -210,15 +247,35 @@ def run_shard(
     fault-tolerant runner against the shared cache.  Returns the
     shard's results in shard-local order (the merge stage restores the
     campaign-global order).
+
+    With ``spans=True`` the shard also writes ``spans-K-of-N.jsonl``:
+    a ``shard`` span parented under the campaign's deterministic root
+    (:func:`campaign_root_context`), with every cell span nested under
+    it — ids are pure functions of the manifest and the cell key, so
+    shards on different hosts emit one coherent trace with no
+    coordination, and :func:`merge_trace` stitches the files together.
     """
     if not 0 <= shard < spec.n_shards:
         raise ValueError(
             f"shard {shard} outside 0..{spec.n_shards - 1}")
     spec.save(campaign_dir)
     log_path = shard_log_path(campaign_dir, shard, spec.n_shards)
+    recorder: Optional[SpanRecorder] = None
+    shard_span: Optional[Span] = None
+    trace_ctx: Optional[SpanContext] = None
+    if spans:
+        recorder = SpanRecorder(
+            str(shard_spans_path(campaign_dir, shard, spec.n_shards)))
+        root = campaign_root_context(spec)
+        shard_span = recorder.start(
+            "shard", parent=root,
+            span_id=derive_span_id(root.trace_id, "shard", shard),
+            shard=shard, of=spec.n_shards, salt=spec.salt)
+        trace_ctx = shard_span.context
     runner = make_runner(
         spec, cache_dir=cache_dir, run_log=str(log_path), jobs=jobs,
-        task_timeout=task_timeout, retries=retries, progress=progress)
+        task_timeout=task_timeout, retries=retries, progress=progress,
+        spans=recorder, trace_ctx=trace_ctx)
     mine = spec.shards()[shard]
     runner._log("shard_start", shard=shard, of=spec.n_shards,
                 cells=len(mine), salt=spec.salt)
@@ -227,6 +284,10 @@ def run_shard(
     failed = sum(1 for result in results if not result.ok)
     runner._log("shard_end", shard=shard, of=spec.n_shards,
                 completed=len(results) - failed, failed=failed)
+    if recorder is not None:
+        recorder.finish(shard_span, completed=len(results) - failed,
+                        failed=failed)
+        recorder.close()
     if runner.run_log is not None:
         runner.run_log.close()
     return results
@@ -371,4 +432,42 @@ def merge_shards(
             "results": merged.envelopes,
         }, sort_keys=True))
         os.replace(tmp, path)
+    return merged
+
+
+def merge_trace(
+    spec: CampaignSpec,
+    campaign_dir: Union[str, Path],
+    chrome: bool = False,
+) -> List[Span]:
+    """Stitch every shard's span file into one campaign trace.
+
+    Reads ``spans-*.jsonl`` (shard runs) plus any reconcile span files,
+    deduplicates by ``(trace_id, span_id)`` — a cell repaired on two
+    hosts collapses to one span, preferring the finished record — and
+    synthesises the root ``campaign`` span the shards all parented
+    under (:func:`campaign_root_context`), bracketing the earliest
+    start and latest end observed.  Writes ``merged-spans.jsonl`` and,
+    with ``chrome``, a ``trace.json`` Chrome trace-event view where
+    each shard gets its own process row.
+    """
+    root_dir = Path(campaign_dir)
+    spans: List[Span] = []
+    for path in sorted(root_dir.glob("spans-*.jsonl")):
+        spans.extend(read_spans(str(path)))
+    trace_id = campaign_trace_id(spec)
+    spans = [span for span in spans if span.trace_id == trace_id]
+    merged = merge_spans(spans)
+    root_ctx = campaign_root_context(spec)
+    if merged and not any(s.span_id == root_ctx.span_id for s in merged):
+        merged.append(Span(
+            name="campaign", trace_id=trace_id, span_id=root_ctx.span_id,
+            start_t=min(s.start_t for s in merged),
+            end_t=max((s.end_t if s.end_t is not None else s.start_t)
+                      for s in merged),
+            attrs={"shards": spec.n_shards, "cells": len(spec.cells())}))
+        merged = merge_spans(merged)
+    write_spans(merged, str(root_dir / MERGED_SPANS_NAME))
+    if chrome:
+        spans_to_chrome(merged, str(root_dir / TRACE_VIEW_NAME))
     return merged

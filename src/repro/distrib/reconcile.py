@@ -50,7 +50,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..analysis.runner import ExperimentRunner
 from ..serve.protocol import Cell
 from ..telemetry.runlog import RunLog, read_run_log_tolerant
-from .campaign import CampaignSpec, make_runner
+from ..telemetry.spans import SpanRecorder, derive_span_id
+from .campaign import CampaignSpec, campaign_root_context, make_runner
 
 #: Every state the detector can assign, healthy first.
 CELL_STATES = ("ok", "missing", "quarantined", "orphaned", "corrupt",
@@ -373,6 +374,7 @@ class RepairScheduler:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         jobs: Optional[int] = None,
         progress=None,
+        spans: bool = False,
     ):
         self.spec = spec
         self.cache_dir = cache_dir
@@ -386,6 +388,8 @@ class RepairScheduler:
         self.submit = submit
         self.max_rounds = max(1, max_rounds)
         self.progress = progress or (lambda _msg: None)
+        #: record reconcile-round spans into the campaign's trace
+        self.spans = spans
 
     # ------------------------------------------------------------------
     def _purge(self, repair: Repair) -> None:
@@ -410,6 +414,17 @@ class RepairScheduler:
         root = Path(campaign_dir)
         root.mkdir(parents=True, exist_ok=True)
         log = RunLog(str(root / "reconcile.jsonl"))
+        recorder: Optional[SpanRecorder] = None
+        reconcile_span = None
+        if self.spans:
+            # rides the campaign's deterministic trace so repairs land
+            # in the same merged view as the shards they heal
+            recorder = SpanRecorder(str(root / "spans-reconcile.jsonl"))
+            parent = campaign_root_context(self.spec)
+            reconcile_span = recorder.start(
+                "reconcile", parent=parent,
+                span_id=derive_span_id(parent.trace_id, "reconcile"),
+                max_rounds=self.max_rounds)
         diff = self.detector.diff(root)
         report = ReconcileReport(cells=len(diff.statuses),
                                  initial=diff.by_state(),
@@ -424,6 +439,13 @@ class RepairScheduler:
             if plan.empty:
                 break
             rounds += 1
+            round_span = None
+            if recorder is not None:
+                round_span = recorder.start(
+                    "reconcile_round", parent=reconcile_span,
+                    span_id=derive_span_id(reconcile_span.trace_id,
+                                           "reconcile_round", rounds),
+                    round=rounds, repairs=len(plan.repairs))
             for repair in plan.repairs:
                 attempts[repair.status.key] = repair.attempt + 1
                 if repair.action == "purge-rerun":
@@ -442,17 +464,32 @@ class RepairScheduler:
                 # directory so the next detector pass can see it
                 old_log = runner.run_log
                 runner.run_log = runner_log
+                # likewise its cell spans into the campaign trace,
+                # nested under this repair round (getattr: the factory
+                # may hand back a duck-typed runner without span hooks)
+                old_spans = getattr(runner, "spans", None)
+                old_ctx = getattr(runner, "trace_ctx", None)
+                if round_span is not None:
+                    runner.spans = recorder
+                    runner.trace_ctx = round_span.context
+                    runner._trace_parent = round_span.context
                 try:
                     runner.run_many([cell.task(self.spec.seed)
                                      for cell in cells], jobs=self.jobs)
                 finally:
                     runner.run_log = old_log
+                    if round_span is not None:
+                        runner.spans = old_spans
+                        runner.trace_ctx = old_ctx
+                        runner._trace_parent = old_ctx
                     runner_log.close()
             diff = self.detector.diff(root)
             round_states = diff.by_state()
             log.log("reconcile_round", round=rounds,
                     repairs=len(cells),
                     damaged=len(diff.damaged), states=round_states)
+            if round_span is not None:
+                recorder.finish(round_span, damaged_after=len(diff.damaged))
             report.rounds.append({
                 "round": rounds,
                 "repairs": len(cells),
@@ -469,6 +506,11 @@ class RepairScheduler:
         report.seconds = time.perf_counter() - started
         log.log("reconcile_end", converged=report.converged,
                 rounds=rounds, repaired=report.repaired)
+        if recorder is not None:
+            recorder.finish(
+                reconcile_span, status="ok" if report.converged else "error",
+                rounds=rounds, repaired=report.repaired)
+            recorder.close()
         log.close()
         return report
 
@@ -508,6 +550,7 @@ def reconcile_campaign(
     server: Optional[str] = None,
     jobs: Optional[int] = None,
     progress=None,
+    spans: bool = False,
 ) -> ReconcileReport:
     """One-call reconciliation of a campaign directory (the CLI's core)."""
     from .campaign import load_manifest
@@ -518,5 +561,6 @@ def reconcile_campaign(
     scheduler = RepairScheduler(
         spec, cache_dir=cache_dir,
         engine=RepairEngine(cell_budget=cell_budget),
-        submit=submit, max_rounds=max_rounds, jobs=jobs, progress=progress)
+        submit=submit, max_rounds=max_rounds, jobs=jobs, progress=progress,
+        spans=spans)
     return scheduler.reconcile(campaign_dir)

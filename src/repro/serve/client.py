@@ -124,8 +124,15 @@ class ServeClient:
         priority: str = "batch",
         tenant: str = "default",
         idempotency_key: Optional[str] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> Dict:
-        """``POST /jobs``; returns the job-status body (with ``created``)."""
+        """``POST /jobs``; returns the job-status body (with ``created``).
+
+        ``trace`` is an optional span-correlation parent context
+        (``{"trace_id": ..., "span_id": ...}``): the server nests the
+        job's spans under it and echoes per-cell ids on the result
+        stream.
+        """
         payload: Dict[str, object] = {
             "version": PROTOCOL_VERSION,
             "priority": priority,
@@ -133,6 +140,8 @@ class ServeClient:
         }
         if idempotency_key is not None:
             payload["idempotency_key"] = idempotency_key
+        if trace is not None:
+            payload["trace"] = dict(trace)
         if cells is not None:
             payload["cells"] = cells
         if matrix is not None:

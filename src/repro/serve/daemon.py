@@ -11,7 +11,10 @@ Endpoints (all JSON; see docs/serving.md for the full reference):
   ``complete``).
 * ``GET /healthz`` — liveness + version/protocol + queue counts +
   cache health (the runners' tolerated-corruption counter).
-* ``GET /metricsz`` — the shared MetricsRegistry snapshot.
+* ``GET /metricsz`` — the shared MetricsRegistry snapshot;
+  ``?format=prometheus`` returns the same counters/gauges/histograms
+  in Prometheus text exposition format (``text/plain; version=0.0.4``)
+  for scraping.
 * ``POST /shutdownz`` — graceful shutdown (also triggered by
   SIGTERM/SIGINT via the CLI): stop accepting, drain in-flight
   shards, requeue unfinished jobs, journal ``serve_stop``.
@@ -24,6 +27,7 @@ lifting happens in the pool's worker threads.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,6 +35,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..analysis.runner import ExperimentRunner
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.prometheus import render_prometheus
+from ..telemetry.spans import SpanRecorder
 from .pool import WorkerPool
 from .protocol import PROTOCOL_VERSION, ProtocolError, parse_submit
 from .queue import DurableJobQueue, QueueRejection, new_job_id
@@ -63,19 +69,27 @@ class ServeDaemon:
         burst: float = 20,
         runner_factory: Optional[Callable[[], ExperimentRunner]] = None,
         runner_kwargs: Optional[Dict] = None,
+        spans: bool = False,
     ):
         self.metrics = MetricsRegistry()
         self.queue = DurableJobQueue(
             queue_dir, max_depth=max_depth, rate=rate, burst=burst,
             metrics=self.metrics)
+        # One daemon-owned span sink for all jobs; traced submits nest
+        # job/shard/cell spans here under the client's parent context.
+        self.spans: Optional[SpanRecorder] = None
+        if spans:
+            self.spans = SpanRecorder(os.path.join(queue_dir, "spans.jsonl"))
         if runner_factory is None:
             kwargs = dict(runner_kwargs or {})
             kwargs.setdefault("metrics", self.metrics)
+            if self.spans is not None:
+                kwargs.setdefault("spans", self.spans)
             runner_factory = lambda: ExperimentRunner(**kwargs)  # noqa: E731
         self.pool = WorkerPool(
             self.queue, runner_factory, workers=workers,
             shard_size=shard_size, shard_jobs=shard_jobs,
-            metrics=self.metrics)
+            metrics=self.metrics, spans=self.spans)
         self.workers = workers
         self._httpd = ThreadingHTTPServer((host, port), self._handler_class())
         self._http_thread: Optional[threading.Thread] = None
@@ -113,6 +127,8 @@ class ServeDaemon:
         self._httpd.server_close()
         drained, requeued = self.pool.stop(drain=drain, timeout=timeout)
         self.queue.log("serve_stop", drained=drained, requeued=requeued)
+        if self.spans is not None:
+            self.spans.close()
         self.queue.close()
         self._stopped.set()
         return drained, requeued
@@ -161,8 +177,12 @@ class ServeDaemon:
 
             def _reply(self, status: int, body: Dict) -> None:
                 data = json.dumps(body, sort_keys=True).encode()
+                self._reply_raw(status, data, "application/json")
+
+            def _reply_raw(self, status: int, data: bytes,
+                           content_type: str) -> None:
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
                 self.end_headers()
                 self.wfile.write(data)
@@ -179,7 +199,13 @@ class ServeDaemon:
                 if path == "/healthz":
                     return self._reply(200, daemon.health())
                 if path == "/metricsz":
-                    return self._reply(200, daemon.metrics.snapshot())
+                    snapshot = daemon.metrics.snapshot()
+                    if "format=prometheus" in query.split("&"):
+                        text = render_prometheus(snapshot)
+                        return self._reply_raw(
+                            200, text.encode(),
+                            "text/plain; version=0.0.4; charset=utf-8")
+                    return self._reply(200, snapshot)
                 if path.startswith("/jobs/"):
                     parts = path.split("/")[2:]
                     job_id = parts[0] if parts else ""

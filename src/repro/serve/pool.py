@@ -44,6 +44,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..analysis.runner import ExperimentRunner
 from ..core.sampling import with_sampling
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.spans import (Span, SpanContext, SpanRecorder,
+                               derive_span_id, derive_trace_id)
 from .protocol import Cell, result_envelope
 from .queue import DurableJobQueue, JobState
 from .resequencer import Resequencer
@@ -63,6 +65,8 @@ class _JobRun:
     #: shards handed to workers but not yet accounted (done or lost)
     outstanding: int = 0
     finished: bool = False
+    #: open ``job`` span when the pool traces (see module docstring)
+    job_span: Optional[Span] = None
 
 
 @dataclass
@@ -88,6 +92,7 @@ class WorkerPool:
         metrics: Optional[MetricsRegistry] = None,
         poll_interval: float = 0.2,
         lockstep: Optional[bool] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         if shard_size <= 0:
             raise ValueError("shard_size must be positive")
@@ -102,6 +107,12 @@ class WorkerPool:
         #: lock-step batching tier knob, passed through to run_many
         #: (None defers to the runner / $REPRO_LOCKSTEP)
         self.lockstep = lockstep
+        #: span recorder shared by all workers (thread-safe); each
+        #: dispatched job gets a ``job`` span (parented under the
+        #: client's submitted trace context when the JobSpec carries
+        #: one) and each shard a ``dispatch_shard`` child that cells
+        #: nest under.  ``None`` (default) disables the whole plane.
+        self.spans = spans
         self._lock = threading.Lock()
         self._shards: Dict[str, List[_Shard]] = {
             "interactive": [], "batch": []}
@@ -172,6 +183,18 @@ class WorkerPool:
         """Expand a freshly dispatched job into shards (caller holds lock)."""
         cells = state.spec.cells
         run = _JobRun(state=state, resequencer=Resequencer(len(cells)))
+        if self.spans is not None:
+            # deterministic job span id: a requeued/replayed job maps to
+            # the same span, so the merged trace dedupes the re-dispatch
+            parent = (SpanContext.from_dict(state.spec.trace)
+                      if state.spec.trace else None)
+            trace_id = (parent.trace_id if parent is not None
+                        else derive_trace_id("job", state.spec.job_id))
+            run.job_span = self.spans.start(
+                "job", parent=parent, trace_id=trace_id,
+                span_id=derive_span_id(trace_id, "job", state.spec.job_id),
+                job_id=state.spec.job_id, tenant=state.spec.tenant,
+                priority=state.spec.priority, cells=len(cells))
         self._active[state.spec.job_id] = run
         lane = state.spec.priority
         for start in range(0, len(cells), self.shard_size):
@@ -236,8 +259,25 @@ class WorkerPool:
         # Forward the lock-step knob only when explicitly set; otherwise
         # the runner's own default (REPRO_LOCKSTEP) governs.
         extra = {} if self.lockstep is None else {"lockstep": self.lockstep}
-        results = runner.run_many(tasks, jobs=self.shard_jobs, **extra)
         run = shard.run
+        shard_span = None
+        cell_traces: Dict[int, Dict[str, str]] = {}
+        if self.spans is not None and run.job_span is not None:
+            shard_span = self.spans.start(
+                "dispatch_shard", parent=run.job_span,
+                job_id=run.state.spec.job_id, seqs=list(shard.seqs))
+            extra["trace"] = shard_span.context
+            trace_id = shard_span.trace_id
+            for seq, task in zip(shard.seqs, tasks):
+                key = runner.key_for(task[0], task[1], task[2])
+                cell_traces[seq] = {
+                    "trace_id": trace_id,
+                    "span_id": derive_span_id(trace_id, "cell", key),
+                    "parent_id": shard_span.span_id,
+                }
+        results = runner.run_many(tasks, jobs=self.shard_jobs, **extra)
+        if shard_span is not None:
+            self.spans.finish(shard_span)
         released: List[Tuple[int, Dict]] = []
         with self._lock:
             run.outstanding -= 1
@@ -248,7 +288,8 @@ class WorkerPool:
                     run.failed_cells += 1
                 released.extend(
                     run.resequencer.push(
-                        seq, result_envelope(seq, cell, result)))
+                        seq, result_envelope(seq, cell, result,
+                                             trace=cell_traces.get(seq))))
             complete = run.resequencer.complete and not run.finished
             if complete:
                 run.finished = True
@@ -258,6 +299,9 @@ class WorkerPool:
             self.metrics.count("serve.cells.completed", len(released))
         if complete:
             self.queue.mark_done(job_id, run.failed_cells)
+            if self.spans is not None and run.job_span is not None:
+                self.spans.finish(run.job_span,
+                                  failed_cells=run.failed_cells)
             with self._lock:
                 self._active.pop(job_id, None)
 
@@ -290,6 +334,9 @@ class WorkerPool:
                 job_id,
                 f"shard {missing} lost {run.repairs + 1} time(s): "
                 f"{type(exc).__name__}: {exc}")
+            if self.spans is not None and run.job_span is not None:
+                self.spans.finish(run.job_span, status="error",
+                                  error=f"{type(exc).__name__}: {exc}")
             with self._lock:
                 run.finished = True
                 self._active.pop(job_id, None)

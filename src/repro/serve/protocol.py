@@ -157,6 +157,26 @@ def expand_matrix(matrix: Dict) -> List[Cell]:
     ]
 
 
+def _validate_trace(raw) -> Optional[Dict[str, str]]:
+    """Validate an optional ``trace`` correlation object.
+
+    ``{"trace_id": <hex>, "span_id": <hex>}`` names the client-side
+    parent span a job's work should nest under (see
+    :mod:`repro.telemetry.spans`).  Optional and additive — absent
+    means untraced — so it rides on :data:`PROTOCOL_VERSION` 1 without
+    a version bump; servers that predate it ignore unknown keys.
+    """
+    if raw is None:
+        return None
+    from ..telemetry.spans import SpanContext
+
+    try:
+        context = SpanContext.from_dict(raw)
+    except ValueError as exc:
+        raise ProtocolError("bad-trace", str(exc))
+    return context.to_dict()
+
+
 @dataclass
 class JobSpec:
     """A validated, admitted job: what to run, for whom, how urgently."""
@@ -169,6 +189,9 @@ class JobSpec:
     #: ``with_sampling`` kwargs applied to every cell's config, or
     #: ``None`` for full-detail simulation (see :data:`SAMPLING_KEYS`).
     sampling: Optional[Dict[str, int]] = None
+    #: optional span-trace parent context (``{"trace_id", "span_id"}``)
+    #: propagated from the submitting client; ``None`` means untraced.
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -177,6 +200,7 @@ class JobSpec:
             "tenant": self.tenant,
             "idempotency_key": self.idempotency_key,
             "sampling": self.sampling,
+            "trace": self.trace,
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -189,6 +213,7 @@ class JobSpec:
             tenant=data.get("tenant", DEFAULT_TENANT),
             idempotency_key=data.get("idempotency_key"),
             sampling=data.get("sampling"),
+            trace=_validate_trace(data.get("trace")),
         )
 
 
@@ -233,9 +258,10 @@ def parse_submit(payload: Dict, job_id: str) -> JobSpec:
     if idempotency_key is not None and not isinstance(idempotency_key, str):
         raise ProtocolError("bad-request", "idempotency_key must be a string")
     sampling = _parse_sampling(payload)
+    trace = _validate_trace(payload.get("trace"))
     return JobSpec(job_id=job_id, cells=cells, priority=priority,
                    tenant=tenant, idempotency_key=idempotency_key,
-                   sampling=sampling)
+                   sampling=sampling, trace=trace)
 
 
 def _parse_sampling(payload: Dict) -> Optional[Dict[str, int]]:
@@ -272,17 +298,24 @@ def _parse_sampling(payload: Dict) -> Optional[Dict[str, int]]:
     return knobs
 
 
-def result_envelope(seq: int, cell: Cell, result) -> Dict:
+def result_envelope(seq: int, cell: Cell, result,
+                    trace: Optional[Dict[str, str]] = None) -> Dict:
     """One entry of the ordered result stream.
 
     ``result`` is a :class:`~repro.core.stats.SimResult` or
     :class:`~repro.analysis.runner.FailedResult`; its ``to_dict`` payload
     is embedded verbatim so a fetched sweep is byte-identical to a
-    local ``run_many`` of the same cells.
+    local ``run_many`` of the same cells.  ``trace`` (optional,
+    additive) carries the cell's span-correlation ids
+    (``trace_id``/``span_id``/``parent_id``) back to the client so a
+    fetched result links into the submitter's trace.
     """
-    return {
+    envelope = {
         "seq": seq,
         "cell": cell.to_dict(),
         "ok": bool(result.ok),
         "result": result.to_dict(),
     }
+    if trace is not None:
+        envelope["trace"] = dict(trace)
+    return envelope

@@ -38,9 +38,30 @@ from .metrics import (
     series,
     write_samples_csv,
 )
-from .runlog import (EVENT_FIELDS, RunLog, read_run_log,
-                     read_run_log_tolerant, validate_event)
+from .prometheus import (
+    escape_label_value,
+    lint_prometheus,
+    render_prometheus,
+)
+from .runlog import (EVENT_FIELDS, TRACE_FIELDS, RunLog, read_jsonl,
+                     read_run_log, read_run_log_tolerant, validate_event)
 from .snapshot import capture_snapshot, describe_head, render_snapshot
+from .spans import (
+    Span,
+    SpanContext,
+    SpanRecorder,
+    derive_span_id,
+    derive_trace_id,
+    merge_span_files,
+    merge_spans,
+    new_span_id,
+    new_trace_id,
+    read_spans,
+    span_tree,
+    spans_to_chrome,
+    write_spans,
+)
+from .top import LogTail, TopModel, render_top, run_top
 from .tracer import (
     AUX_STAGES,
     LIFECYCLE,
@@ -60,25 +81,47 @@ __all__ = [
     "IntervalSampler",
     "LIFECYCLE",
     "LIFECYCLE_RANK",
+    "LogTail",
     "MetricsRegistry",
     "OCCUPANCY_KEYS",
     "OpInfo",
     "RunLog",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
     "StallAttribution",
+    "TRACE_FIELDS",
+    "TopModel",
     "TraceEvent",
     "Tracer",
     "capture_snapshot",
     "chrome_counter_events",
+    "derive_span_id",
+    "derive_trace_id",
     "describe_head",
+    "escape_label_value",
     "flatten_sample",
+    "lint_prometheus",
+    "merge_span_files",
+    "merge_spans",
+    "new_span_id",
+    "new_trace_id",
     "read_chrome_trace",
+    "read_jsonl",
     "read_run_log",
     "read_run_log_tolerant",
+    "read_spans",
+    "render_prometheus",
     "render_snapshot",
+    "render_top",
+    "run_top",
     "samples_to_csv",
     "series",
+    "span_tree",
+    "spans_to_chrome",
     "validate_event",
     "write_chrome_trace",
     "write_konata",
     "write_samples_csv",
+    "write_spans",
 ]

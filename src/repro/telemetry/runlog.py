@@ -34,7 +34,8 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "timeout": ("key", "attempt", "timeout_s"),
     "quarantine": ("key", "kind", "error", "attempts"),
     "pool_restart": ("restarts",),
-    "heartbeat": ("done", "total", "inflight", "queued"),
+    "heartbeat": ("done", "total", "inflight", "queued",
+                  "elapsed_s", "sims_per_sec", "eta_s"),
     "campaign_end": ("seconds", "simulations", "cache_hits", "retries",
                      "timeouts", "quarantined"),
     # cache health: a corrupt / unreadable / zero-byte disk-cache entry
@@ -77,6 +78,13 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
 #: fields present on every record.
 BASE_FIELDS = ("event", "t", "elapsed")
 
+#: optional span-correlation fields any event may carry (repro.telemetry.
+#: spans).  ``trace_id`` names the campaign-wide trace, ``span_id`` the
+#: span this record belongs to and ``parent_id`` its parent span; the
+#: runner stamps them on task-lifecycle events when tracing is enabled
+#: so one campaign yields one reconstructable trace even across hosts.
+TRACE_FIELDS = ("trace_id", "span_id", "parent_id")
+
 
 def validate_event(record: Dict[str, object]) -> None:
     """Raise ``ValueError`` unless ``record`` matches the event schema."""
@@ -87,6 +95,13 @@ def validate_event(record: Dict[str, object]) -> None:
                if f not in record]
     if missing:
         raise ValueError(f"run-log {event} record missing {missing}")
+    for field in TRACE_FIELDS:
+        value = record.get(field)
+        if value is not None and field in record \
+                and not isinstance(value, str):
+            raise ValueError(
+                f"run-log {event} field {field!r} must be a string, "
+                f"got {type(value).__name__}")
 
 
 class RunLog:
@@ -127,27 +142,63 @@ class RunLog:
         self.close()
 
 
-def read_run_log(path: str,
-                 event: Optional[str] = None) -> List[Dict[str, object]]:
-    """Load a run-log; optionally filter to one event type.
+def read_jsonl(path: str,
+               strict: bool = True) -> Tuple[List[object], int]:
+    """Load a JSONL file; the one reader behind every log format here.
 
-    A torn final line (crashed writer) is skipped, matching the
-    tolerance the result cache shows for truncated entries.
+    ``strict=True`` mirrors the classic run-log contract: an unreadable
+    file or a bad line mid-file raises, except that a torn *final* line
+    (crashed writer) is silently dropped, matching the tolerance the
+    result cache shows for truncated entries.  ``strict=False`` is the
+    damage-tolerant mode reconciliation needs: an unreadable file is
+    one skipped "line", and any undecodable or non-object line anywhere
+    is skipped and counted rather than fatal.  Returns
+    ``(records, skipped_lines)`` (``skipped_lines`` is always 0 in
+    strict mode — a dropped torn tail is not counted).
     """
-    records: List[Dict[str, object]] = []
-    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    records: List[object] = []
+    skipped = 0
+    try:
+        lines = Path(path).read_text(
+            encoding="utf-8", errors=None if strict else "replace"
+        ).splitlines()
+    except OSError:
+        if strict:
+            raise
+        return [], 1
     for index, line in enumerate(lines):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
-        except json.JSONDecodeError:
-            if index == len(lines) - 1:
-                break  # torn tail from an interrupted writer
-            raise
-        if event is None or record.get("event") == event:
-            records.append(record)
-    return records
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            if strict:
+                if index == len(lines) - 1:
+                    break  # torn tail from an interrupted writer
+                raise
+            skipped += 1
+            continue
+        if not isinstance(record, dict) and not strict:
+            skipped += 1
+            continue
+        records.append(record)
+    return records, skipped
+
+
+def read_run_log(path: str,
+                 event: Optional[str] = None,
+                 strict: bool = True) -> List[Dict[str, object]]:
+    """Load a run-log; optionally filter to one event type.
+
+    Thin wrapper over :func:`read_jsonl`; ``strict=False`` switches to
+    the damage-tolerant parse (skipped-line count discarded — use
+    :func:`read_run_log_tolerant` to keep it).
+    """
+    records, _ = read_jsonl(path, strict=strict)
+    if event is not None:
+        records = [r for r in records
+                   if isinstance(r, dict) and r.get("event") == event]
+    return records  # type: ignore[return-value]
 
 
 def read_run_log_tolerant(
@@ -162,25 +213,8 @@ def read_run_log_tolerant(
     faults) must still yield every surviving record, because the holes
     the corruption tore are exactly what reconciliation goes on to
     repair from the other two sources (expected matrix + disk cache).
-    Returns ``(records, skipped_lines)``.
+    Returns ``(records, skipped_lines)``; a thin wrapper over
+    :func:`read_jsonl` with ``strict=False``.
     """
-    records: List[Dict[str, object]] = []
-    skipped = 0
-    try:
-        lines = Path(path).read_text(encoding="utf-8",
-                                     errors="replace").splitlines()
-    except OSError:
-        return [], 1
-    for line in lines:
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except (json.JSONDecodeError, UnicodeDecodeError):
-            skipped += 1
-            continue
-        if not isinstance(record, dict):
-            skipped += 1
-            continue
-        records.append(record)
-    return records, skipped
+    records, skipped = read_jsonl(path, strict=False)
+    return records, skipped  # type: ignore[return-value]

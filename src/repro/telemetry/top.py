@@ -1,0 +1,416 @@
+"""``repro top``: a live terminal monitor for campaigns and daemons.
+
+Tails one or more JSONL run-logs (a local campaign, a distributed
+campaign's per-shard logs) and/or polls a ``repro serve`` daemon's
+``/healthz`` + ``/metricsz`` endpoints, folding everything into one
+:class:`TopModel` and rendering a compact text frame: campaign
+progress, sims/sec and ETA, per-worker throughput, shard health,
+queue lane depths, cache health and daemon status.
+
+The model/renderer split keeps it scriptable and testable:
+:meth:`TopModel.feed_records` / :meth:`feed_health` /
+:meth:`feed_metrics` consume raw inputs, :func:`render_top` is a pure
+function of the model, and ``repro top --once`` prints a single frame
+and exits (the CI smoke job greps it).  The live loop redraws with
+plain ANSI clear codes — no curses dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, TextIO, Tuple
+
+#: run-log events that mean "one cell finished" for throughput math.
+_FINISH_EVENTS = ("finish",)
+
+
+class LogTail:
+    """Incremental reader for a growing JSONL file.
+
+    Remembers its byte offset between polls, returns only complete new
+    lines (a torn tail stays buffered until the writer finishes it)
+    and tolerates damaged lines and vanished/truncated files — a
+    monitor must never crash the thing it is watching.
+    """
+
+    def __init__(self, path: str):
+        self.path = Path(path)
+        self._offset = 0
+
+    def poll(self) -> List[Dict[str, object]]:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:  # truncated/rotated: start over
+            self._offset = 0
+        try:
+            with open(self.path, "r", encoding="utf-8",
+                      errors="replace") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        complete, _, partial = chunk.rpartition("\n")
+        if not complete and partial:
+            return []  # one incomplete line so far
+        self._offset += len(chunk.encode("utf-8")) \
+            - len(partial.encode("utf-8"))
+        records: List[Dict[str, object]] = []
+        for line in complete.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+
+class TopModel:
+    """Folds run-log records and daemon polls into displayable state."""
+
+    def __init__(self, window_s: float = 60.0):
+        self.window_s = window_s
+        self.total_cells: Optional[int] = None
+        self.heartbeat: Optional[Dict[str, object]] = None
+        self.finished = 0
+        self.cache_hits = 0
+        self.quarantined = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.cache_warnings = 0
+        self.campaign_done: Optional[Dict[str, object]] = None
+        self.workers: Dict[str, Dict[str, float]] = {}
+        self.shards: Dict[Tuple[int, int], Dict[str, object]] = {}
+        self.reconcile: Optional[Dict[str, object]] = None
+        self.finish_times: Deque[float] = deque()
+        self.health: Optional[Dict[str, object]] = None
+        self.metrics: Optional[Dict[str, Dict[str, object]]] = None
+        self.server_error: Optional[str] = None
+        self.last_event_t: Optional[float] = None
+
+    # ----------------------------------------------------------------
+    # inputs
+
+    def feed_records(self, records: Sequence[Dict[str, object]]) -> None:
+        for record in records:
+            event = record.get("event")
+            t = record.get("t")
+            if isinstance(t, (int, float)):
+                self.last_event_t = max(self.last_event_t or 0.0,
+                                        float(t))
+            if event == "campaign_start":
+                tasks = record.get("tasks")
+                if isinstance(tasks, int):
+                    self.total_cells = max(self.total_cells or 0, tasks)
+            elif event == "heartbeat":
+                self.heartbeat = dict(record)
+            elif event == "finish":
+                self.finished += 1
+                worker = str(record.get("worker", "?"))
+                stats = self.workers.setdefault(
+                    worker, {"finished": 0.0, "seconds": 0.0})
+                stats["finished"] += 1
+                seconds = record.get("seconds")
+                if isinstance(seconds, (int, float)):
+                    stats["seconds"] += float(seconds)
+                if isinstance(t, (int, float)):
+                    self.finish_times.append(float(t))
+            elif event == "cache_hit":
+                self.cache_hits += 1
+            elif event == "quarantine":
+                self.quarantined += 1
+            elif event == "retry":
+                self.retries += 1
+            elif event == "timeout":
+                self.timeouts += 1
+            elif event == "cache_warning":
+                count = record.get("count")
+                self.cache_warnings = max(
+                    self.cache_warnings,
+                    count if isinstance(count, int) else
+                    self.cache_warnings + 1)
+            elif event == "campaign_end":
+                self.campaign_done = dict(record)
+            elif event == "shard_start":
+                key = (int(record.get("shard", 0)),   # type: ignore
+                       int(record.get("of", 0)))      # type: ignore
+                self.shards[key] = {
+                    "state": "running",
+                    "cells": record.get("cells", 0),
+                    "completed": 0, "failed": 0,
+                }
+            elif event == "shard_end":
+                key = (int(record.get("shard", 0)),   # type: ignore
+                       int(record.get("of", 0)))      # type: ignore
+                shard = self.shards.setdefault(
+                    key, {"cells": record.get("completed", 0)})
+                shard["state"] = "done"
+                shard["completed"] = record.get("completed", 0)
+                shard["failed"] = record.get("failed", 0)
+            elif event in ("reconcile_start", "reconcile_round",
+                           "reconcile_end"):
+                current = self.reconcile or {}
+                current.update({k: v for k, v in record.items()
+                                if k not in ("t", "elapsed")})
+                self.reconcile = current
+        while len(self.finish_times) > 1 and \
+                self.finish_times[-1] - self.finish_times[0] \
+                > self.window_s:
+            self.finish_times.popleft()
+
+    def feed_health(self, health: Optional[Dict[str, object]],
+                    error: Optional[str] = None) -> None:
+        self.health = health
+        self.server_error = error
+
+    def feed_metrics(
+            self,
+            snapshot: Optional[Dict[str, Dict[str, object]]]) -> None:
+        self.metrics = snapshot
+
+    # ----------------------------------------------------------------
+    # derived
+
+    def done(self) -> int:
+        heartbeat = self.heartbeat
+        if heartbeat and isinstance(heartbeat.get("done"), int):
+            return max(int(heartbeat["done"]),   # type: ignore[arg-type]
+                       self.finished + self.cache_hits)
+        return self.finished + self.cache_hits
+
+    def total(self) -> Optional[int]:
+        # Shard events know the full split; campaign_start/heartbeat in
+        # a shard's log only describe that shard's slice, so when
+        # watching several shard logs the per-shard cell counts are the
+        # only source that sums to the real matrix size.
+        if self.shards:
+            cells = 0
+            for info in self.shards.values():
+                count = info.get("cells") or info.get("completed") or 0
+                cells += count if isinstance(count, int) else 0
+            if cells:
+                return cells
+        heartbeat = self.heartbeat
+        if heartbeat and isinstance(heartbeat.get("total"), int):
+            return int(heartbeat["total"])  # type: ignore[arg-type]
+        return self.total_cells
+
+    def sims_per_sec(self) -> Optional[float]:
+        heartbeat = self.heartbeat
+        if heartbeat and isinstance(heartbeat.get("sims_per_sec"),
+                                    (int, float)):
+            return float(heartbeat["sims_per_sec"])  # type: ignore
+        if len(self.finish_times) >= 2:
+            elapsed = self.finish_times[-1] - self.finish_times[0]
+            if elapsed > 0:
+                return (len(self.finish_times) - 1) / elapsed
+        return None
+
+    def eta_s(self) -> Optional[float]:
+        heartbeat = self.heartbeat
+        if heartbeat and isinstance(heartbeat.get("eta_s"),
+                                    (int, float)):
+            return float(heartbeat["eta_s"])  # type: ignore[arg-type]
+        total = self.total()
+        rate = self.sims_per_sec()
+        if total is None or rate is None or rate <= 0:
+            return None
+        return max(0.0, (total - self.done()) / rate)
+
+    def queue_depths(self) -> Dict[str, float]:
+        depths: Dict[str, float] = {}
+        for name, entry in (self.metrics or {}).items():
+            prefix = "serve.queue.depth."
+            if name.startswith(prefix):
+                value = entry.get("value", 0)
+                if isinstance(value, (int, float)):
+                    depths[name[len(prefix):]] = float(value)
+        return depths
+
+    def _metric_value(self, name: str) -> Optional[float]:
+        entry = (self.metrics or {}).get(name)
+        if entry is None:
+            return None
+        value = entry.get("value")
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _progress_bar(done: int, total: Optional[int],
+                  width: int = 24) -> str:
+    if not total:
+        return "[" + "?" * width + "]"
+    filled = min(width, int(round(width * done / total)))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render_top(model: TopModel, now: Optional[float] = None,
+               clock: Optional[str] = None) -> str:
+    """One text frame of the monitor; pure function of the model."""
+    now = time.time() if now is None else now
+    clock = clock if clock is not None else \
+        time.strftime("%H:%M:%S", time.localtime(now))
+    lines: List[str] = [f"repro top · {clock}"]
+
+    done = model.done()
+    total = model.total()
+    total_text = "?" if total is None else str(total)
+    rate = model.sims_per_sec()
+    rate_text = "--" if rate is None else f"{rate:.2f} sims/s"
+    heartbeat = model.heartbeat or {}
+    inflight = heartbeat.get("inflight", 0)
+    queued = heartbeat.get("queued", 0)
+    status = "done" if model.campaign_done else (
+        "running" if (model.heartbeat or model.finished
+                      or model.cache_hits) else "idle")
+    lines.append(
+        f"campaign  {_progress_bar(done, total)} {done}/{total_text} "
+        f"· {status} · {inflight} in flight · {queued} queued")
+    lines.append(
+        f"rate      {rate_text} · ETA {_fmt_eta(model.eta_s())}")
+    lines.append(
+        f"cache     {model.cache_hits} hits · "
+        f"{model.cache_warnings} warnings · "
+        f"retries {model.retries} · timeouts {model.timeouts} · "
+        f"quarantined {model.quarantined}")
+
+    if model.workers:
+        parts = []
+        for worker in sorted(model.workers)[:6]:
+            stats = model.workers[worker]
+            count = int(stats["finished"])
+            average = stats["seconds"] / count if count else 0.0
+            parts.append(f"{worker}: {count} done ({average:.2f}s avg)")
+        extra = len(model.workers) - 6
+        if extra > 0:
+            parts.append(f"+{extra} more")
+        lines.append("workers   " + " · ".join(parts))
+
+    if model.shards:
+        parts = []
+        for (shard, of) in sorted(model.shards):
+            info = model.shards[(shard, of)]
+            state = info.get("state", "?")
+            if state == "done":
+                parts.append(
+                    f"{shard}/{of} done "
+                    f"({info.get('completed', 0)} ok, "
+                    f"{info.get('failed', 0)} failed)")
+            else:
+                parts.append(f"{shard}/{of} {state} "
+                             f"({info.get('cells', '?')} cells)")
+        lines.append("shards    " + " · ".join(parts))
+
+    if model.reconcile is not None:
+        info = model.reconcile
+        converged = info.get("converged")
+        state = ("converged" if converged else
+                 "NOT converged" if converged is not None else
+                 f"round {info.get('round', '?')}")
+        lines.append(
+            f"reconcile {state} · repairs {info.get('repairs', 0)} "
+            f"· damaged {info.get('damaged', info.get('repaired', 0))}")
+
+    if model.server_error is not None:
+        lines.append(f"server    UNREACHABLE ({model.server_error})")
+    elif model.health is not None:
+        health = model.health
+        jobs = health.get("jobs", {})
+        if not isinstance(jobs, dict):
+            jobs = {}
+        lines.append(
+            f"server    {health.get('status', '?')} · "
+            f"uptime {_fmt_eta(health.get('uptime_s'))} "  # type: ignore
+            f"· workers {health.get('workers', '?')} · jobs "
+            f"{jobs.get('running', 0)} running / "
+            f"{jobs.get('queued', 0)} queued / "
+            f"{jobs.get('done', 0)} done / "
+            f"{jobs.get('failed', 0)} failed")
+        cells = model._metric_value("serve.cells.completed")
+        repairs = model._metric_value("serve.pool.repairs")
+        if cells is not None or repairs is not None:
+            lines.append(
+                f"pool      {int(cells or 0)} cells executed · "
+                f"{int(repairs or 0)} shard repairs")
+    if model.metrics is not None:
+        depths = model.queue_depths()
+        if depths:
+            parts = [f"{lane}: {int(depth)}"
+                     for lane, depth in sorted(depths.items())]
+            rejected = sum(
+                model._metric_value(name) or 0
+                for name in ("serve.queue.rejected.rate_limited",
+                             "serve.queue.rejected.queue_full"))
+            lines.append("queue     " + " · ".join(parts)
+                         + f" · rejected {int(rejected)}")
+
+    if model.last_event_t is not None:
+        age = max(0.0, now - model.last_event_t)
+        lines.append(f"last event {age:.0f}s ago")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(run_logs: Sequence[str],
+            server: Optional[str] = None,
+            interval: float = 2.0,
+            once: bool = False,
+            iterations: Optional[int] = None,
+            window_s: float = 60.0,
+            out: Optional[TextIO] = None) -> int:
+    """Drive the monitor loop; returns a process exit code.
+
+    ``once`` renders a single frame (scripting / CI).  ``iterations``
+    bounds the live loop for tests; ``None`` runs until interrupted.
+    """
+    import sys
+    out = out if out is not None else sys.stdout
+    model = TopModel(window_s=window_s)
+    tails = [LogTail(path) for path in run_logs]
+    client = None
+    if server is not None:
+        from ..serve.client import ServeClient
+        client = ServeClient(server)
+    remaining = 1 if once else iterations
+    try:
+        while True:
+            for tail in tails:
+                model.feed_records(tail.poll())
+            if client is not None:
+                try:
+                    model.feed_health(client.health())
+                    model.feed_metrics(client.metrics())
+                except Exception as error:  # daemon down ≠ monitor down
+                    model.feed_health(None, error=str(error))
+                    model.feed_metrics(None)
+            frame = render_top(model)
+            if once or iterations is not None:
+                out.write(frame)
+            else:
+                out.write("\x1b[2J\x1b[H" + frame)
+            out.flush()
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

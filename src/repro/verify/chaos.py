@@ -589,8 +589,10 @@ def run_distributed(
         for shard in range(n_shards):
             if shard == killed:
                 continue  # the shard dies before its first cell
+            # spans on: the drill doubles as coverage that tracing
+            # survives chaos (torn logs never tear the span files)
             run_shard(spec, shard, camp, cache_dir=str(cache), jobs=jobs,
-                      task_timeout=timeout)
+                      task_timeout=timeout, spans=True)
         os.environ.pop(ENV_VAR, None)
 
         detector = Detector(spec, cache_dir=str(cache))
@@ -659,7 +661,8 @@ def run_distributed(
         say("distrib chaos: " + diff.summary())
         outcome = reconcile_campaign(
             camp, spec=spec, cache_dir=str(cache),
-            max_rounds=4, cell_budget=3, jobs=jobs, progress=say)
+            max_rounds=4, cell_budget=3, jobs=jobs, progress=say,
+            spans=True)
         report.final_states = outcome.final
         report.rounds = len(outcome.rounds)
         report.converged = outcome.converged

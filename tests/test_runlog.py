@@ -47,7 +47,8 @@ class TestValidation:
     def test_log_stamps_and_flushes(self, tmp_path):
         path = tmp_path / "log.jsonl"
         with RunLog(str(path)) as log:
-            log.log("heartbeat", done=1, total=4, inflight=2, queued=1)
+            log.log("heartbeat", done=1, total=4, inflight=2, queued=1,
+                    elapsed_s=0.5, sims_per_sec=2.0, eta_s=1.5)
             lines = path.read_text().splitlines()  # flushed before close
         assert len(lines) == 1
         record = json.loads(lines[0])
@@ -75,7 +76,8 @@ class TestValidation:
         path = tmp_path / "log.jsonl"
         with RunLog(str(path)) as log:
             log.log("pool_restart", restarts=1)
-            log.log("heartbeat", done=0, total=1, inflight=1, queued=0)
+            log.log("heartbeat", done=0, total=1, inflight=1, queued=0,
+                    elapsed_s=0.1, sims_per_sec=0.0, eta_s=None)
         assert len(read_run_log(str(path), event="heartbeat")) == 1
 
     def test_appends_across_runner_instances(self, tmp_path):
